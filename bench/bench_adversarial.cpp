@@ -1,0 +1,81 @@
+// E10: oblivious vs adaptive adversary. The amortized work bound assumes
+// the adversary cannot see the algorithm's coins; an adaptive deleter that
+// always removes currently-matched edges forfeits that analysis. Measured:
+// work/update under a matched-edge-targeting deleter vs an oblivious
+// uniform deleter on the same graph shape.
+#include "bench_common.h"
+#include "baselines/pdmm_adapter.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t n = args.get_u64("n", 1 << 12);
+  const uint64_t rounds = args.get_u64("rounds", 100);
+  args.finish();
+
+  ThreadPool pool(1);
+  bench::header("E10 bench_adversarial",
+                "adaptive matched-targeting deletions cost more per update "
+                "than oblivious deletions, but correctness is unaffected");
+  bench::row("%22s %14s %12s %10s", "adversary", "work/upd", "us/upd",
+             "|M| end");
+
+  // Oblivious uniform churn.
+  {
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = 71;
+    cfg.initial_capacity = 1ull << 22;
+    cfg.auto_rebuild = false;
+    DynamicMatcher m(cfg, pool);
+    ChurnStream::Options so;
+    so.n = static_cast<Vertex>(n);
+    so.target_edges = 3 * n;
+    so.seed = 37;
+    ChurnStream stream(so);
+    bench::warm(m, stream, 3 * so.target_edges, 1024);
+    const auto r = bench::drive(m, stream, rounds, 128);
+    bench::row("%22s %14.1f %12.2f %10zu", "oblivious-uniform",
+               static_cast<double>(r.work) /
+                   static_cast<double>(std::max<uint64_t>(r.updates, 1)),
+               r.seconds * 1e6 /
+                   static_cast<double>(std::max<uint64_t>(r.updates, 1)),
+               m.matching_size());
+  }
+
+  // Adaptive matched-targeting deleter.
+  {
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = 72;
+    cfg.initial_capacity = 1ull << 22;
+    cfg.auto_rebuild = false;
+    PdmmAdapter m(cfg, pool);
+    AdversarialMatchedDeleter::Options ao;
+    ao.n = static_cast<Vertex>(n);
+    ao.seed = 38;
+    AdversarialMatchedDeleter adv(ao);
+    // Grow.
+    for (uint64_t i = 0; i < 3 * n / 64; ++i) apply_batch(m, adv.next(m, 64));
+    const auto before = m.total_cost();
+    uint64_t updates = 0;
+    Timer t;
+    for (uint64_t i = 0; i < rounds; ++i) {
+      const Batch b = adv.next(m, 64);
+      updates += b.deletions.size() + b.insertions.size();
+      apply_batch(m, b);
+    }
+    const double secs = t.seconds();
+    const auto after = m.total_cost();
+    bench::row("%22s %14.1f %12.2f %10zu", "adaptive-matched",
+               static_cast<double>(after.work - before.work) /
+                   static_cast<double>(std::max<uint64_t>(updates, 1)),
+               secs * 1e6 / static_cast<double>(std::max<uint64_t>(updates, 1)),
+               m.matching_size());
+  }
+  bench::row("# the adaptive row exceeding the oblivious row quantifies how "
+             "much the amortization leans on obliviousness");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every harness prints a self-describing ASCII table (one row per sweep
+// point) so EXPERIMENTS.md can quote outputs verbatim. Columns that the
+// paper's theorems bound are always machine-independent counters (parallel
+// rounds, element work); wall-clock is reported as supplementary context.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/matcher_base.h"
+#include "core/matcher.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+
+namespace pdmm::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("# paper claim: %s\n", claim.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+// Drives `stream.next(batch)` through a DynamicMatcher `batches` times and
+// returns (work delta, rounds delta, seconds).
+struct DriveResult {
+  uint64_t work = 0;
+  uint64_t rounds = 0;
+  uint64_t updates = 0;
+  double seconds = 0;
+  uint64_t max_batch_rounds = 0;
+};
+
+template <typename Stream>
+DriveResult drive(DynamicMatcher& m, Stream& stream, size_t batches,
+                  size_t batch_size) {
+  DriveResult r;
+  Timer t;
+  for (size_t i = 0; i < batches; ++i) {
+    const Batch b = stream.next(batch_size);
+    r.updates += b.deletions.size() + b.insertions.size();
+    std::vector<EdgeId> dels;
+    dels.reserve(b.deletions.size());
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    const auto res = m.update(dels, b.insertions);
+    r.work += res.work;
+    r.rounds += res.rounds;
+    r.max_batch_rounds = std::max(r.max_batch_rounds, res.rounds);
+  }
+  r.seconds = t.seconds();
+  return r;
+}
+
+template <typename Stream>
+DriveResult drive_base(MatcherBase& m, Stream& stream, size_t batches,
+                       size_t batch_size) {
+  DriveResult r;
+  const auto before = m.total_cost();
+  Timer t;
+  for (size_t i = 0; i < batches; ++i) {
+    const Batch b = stream.next(batch_size);
+    r.updates += b.deletions.size() + b.insertions.size();
+    apply_batch(m, b);
+  }
+  r.seconds = t.seconds();
+  const auto after = m.total_cost();
+  r.work = after.work - before.work;
+  r.rounds = after.rounds - before.rounds;
+  return r;
+}
+
+// Warm a stream (and optionally a matcher) to steady state.
+template <typename Stream>
+void warm(DynamicMatcher& m, Stream& stream, size_t updates,
+          size_t batch_size) {
+  size_t done = 0;
+  while (done < updates) {
+    const Batch b = stream.next(batch_size);
+    done += b.deletions.size() + b.insertions.size();
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    m.update(dels, b.insertions);
+  }
+}
+
+}  // namespace pdmm::bench

@@ -1,0 +1,102 @@
+// E11: parallel dictionary micro-benchmarks (google-benchmark).
+// The [GMV91] interface promises O(k) work per batch of k operations; these
+// fixtures confirm per-op cost stays flat as batch size grows.
+#include <benchmark/benchmark.h>
+
+#include "dict/phase_dict.h"
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+std::vector<uint64_t> fresh_keys(size_t k, uint64_t salt) {
+  std::vector<uint64_t> keys(k);
+  for (size_t i = 0; i < k; ++i) keys[i] = hash_mix(salt, i) >> 1;
+  return keys;
+}
+
+void BM_BatchInsert(benchmark::State& state) {
+  ThreadPool pool(0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PhaseDict<uint64_t> dict(k);
+    const auto keys = fresh_keys(k, ++salt);
+    const std::vector<uint64_t> vals(k, 1);
+    state.ResumeTiming();
+    dict.batch_insert(pool, keys, vals);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchInsert)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+void BM_BatchLookup(benchmark::State& state) {
+  ThreadPool pool(0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  PhaseDict<uint64_t> dict(k);
+  const auto keys = fresh_keys(k, 7);
+  const std::vector<uint64_t> vals(k, 1);
+  dict.batch_insert(pool, keys, vals);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    dict.batch_lookup(pool, keys, out, 0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchLookup)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+void BM_BatchErase(benchmark::State& state) {
+  ThreadPool pool(0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  uint64_t salt = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PhaseDict<uint64_t> dict(k);
+    const auto keys = fresh_keys(k, ++salt);
+    const std::vector<uint64_t> vals(k, 1);
+    dict.batch_insert(pool, keys, vals);
+    state.ResumeTiming();
+    dict.batch_erase(pool, keys);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchErase)->RangeMultiplier(8)->Range(1 << 8, 1 << 15);
+
+void BM_Retrieve(benchmark::State& state) {
+  ThreadPool pool(0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  PhaseDict<uint64_t> dict(k);
+  const auto keys = fresh_keys(k, 13);
+  const std::vector<uint64_t> vals(k, 1);
+  dict.batch_insert(pool, keys, vals);
+  for (auto _ : state) {
+    auto all = dict.retrieve(pool);
+    benchmark::DoNotOptimize(all.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_Retrieve)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+void BM_SerialFind(benchmark::State& state) {
+  ThreadPool pool(1);
+  const size_t k = 1 << 16;
+  PhaseDict<uint64_t> dict(k);
+  const auto keys = fresh_keys(k, 17);
+  const std::vector<uint64_t> vals(k, 1);
+  dict.batch_insert(pool, keys, vals);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.find(keys[i++ & (k - 1)]));
+  }
+}
+BENCHMARK(BM_SerialFind);
+
+}  // namespace
+}  // namespace pdmm

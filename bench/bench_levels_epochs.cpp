@@ -1,0 +1,80 @@
+// E7 (Lemma 4.6): every grand-random-settle(B, l) matches at least
+// |B|/alpha^3 edges at level l — measured via lifted-edges / settles.
+// E8 (Lemmas 4.13–4.15): epoch counts per level decay geometrically
+// (T_l <~ t / (mu alpha^l)); the D(e) budget consumed before natural
+// epoch endings is what pays for them.
+#include "bench_common.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t n = args.get_u64("n", 1 << 12);
+  const uint64_t total_updates = args.get_u64("updates", 1 << 19);
+  args.finish();
+
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 51;
+  cfg.initial_capacity = 1ull << 22;
+  cfg.auto_rebuild = false;
+  DynamicMatcher m(cfg, pool);
+
+  ChurnStream::Options so;
+  so.n = static_cast<Vertex>(n);
+  so.target_edges = 4 * n;
+  so.zipf_s = 0.8;
+  so.seed = 23;
+  ChurnStream stream(so);
+
+  size_t done = 0;
+  while (done < total_updates) {
+    const Batch b = stream.next(512);
+    done += b.deletions.size() + b.insertions.size();
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    m.update(dels, b.insertions);
+  }
+
+  const auto& ep = m.epoch_stats();
+  const auto& st = m.stats();
+  const uint64_t alpha = m.scheme().alpha();
+
+  bench::header("E7+E8 bench_levels_epochs (Lemmas 4.6, 4.13-4.15)",
+                "epochs per level decay geometrically; settles create "
+                ">= |B|/alpha^3 epochs each; deleted D(e) budget pays for "
+                "natural endings");
+  bench::row("updates processed: %llu   alpha=%llu  L=%d",
+             static_cast<unsigned long long>(done),
+             static_cast<unsigned long long>(alpha), m.scheme().top_level());
+  bench::row("%5s %12s %12s %12s %14s %14s", "level", "created",
+             "end_natural", "end_induced", "D_provisioned", "D_consumed");
+  uint64_t prev_created = 0;
+  for (Level l = 0; l <= m.scheme().top_level(); ++l) {
+    const auto i = static_cast<size_t>(l);
+    bench::row("%5d %12llu %12llu %12llu %14llu %14llu", l,
+               static_cast<unsigned long long>(ep.created[i]),
+               static_cast<unsigned long long>(ep.ended_natural[i]),
+               static_cast<unsigned long long>(ep.ended_induced[i]),
+               static_cast<unsigned long long>(ep.d_size_at_creation[i]),
+               static_cast<unsigned long long>(ep.d_budget_consumed[i]));
+    if (l >= 2 && prev_created > 0 && ep.created[i] > prev_created) {
+      bench::row("#   note: level %d created more epochs than level %d", l,
+                 l - 1);
+    }
+    prev_created = ep.created[i];
+  }
+  if (st.settles > 0) {
+    bench::row("settles=%llu, lifted=%llu  => lifted/settle = %.2f "
+               "(Lemma 4.6 floor is |B|/alpha^3 with |B|>=1: > 0)",
+               static_cast<unsigned long long>(st.settles),
+               static_cast<unsigned long long>(st.edges_lifted),
+               static_cast<double>(st.edges_lifted) /
+                   static_cast<double>(st.settles));
+  }
+  bench::row("# expectation: created[l] decays roughly geometrically for "
+             "l >= 1 (T_l <~ t/(mu alpha^l))");
+  return 0;
+}

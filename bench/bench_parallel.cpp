@@ -1,0 +1,75 @@
+// E12: runtime primitive micro-benchmarks (google-benchmark):
+// parallel_for, scan, pack, sort throughput across thread counts.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "parallel/sort.h"
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+void BM_ParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const size_t n = 1 << 20;
+  std::vector<uint64_t> data(n, 1);
+  for (auto _ : state) {
+    parallel_for(pool, n, [&](size_t i) { data[i] = data[i] * 3 + 1; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Scan(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const size_t n = 1 << 20;
+  std::vector<uint64_t> in(n, 2), out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_exclusive(pool, in, out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Scan)->Arg(1)->Arg(4);
+
+void BM_Pack(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const size_t n = 1 << 20;
+  std::vector<uint32_t> vals(n);
+  std::iota(vals.begin(), vals.end(), 0u);
+  for (auto _ : state) {
+    auto out = pack_values(pool, vals, [&](size_t i) { return (vals[i] & 7) == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Pack)->Arg(1)->Arg(4);
+
+void BM_Sort(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const size_t n = 1 << 19;
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> v = base;
+    state.ResumeTiming();
+    parallel_sort(pool, v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sort)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,79 @@
+// E16: matching quality over time. A maximal matching is guaranteed >= 1/r
+// of the maximum (paper §2); on bipartite rank-2 workloads the exact
+// optimum is computable at scale with Hopcroft–Karp, so this harness tracks
+// the real ratio |maximal| / |maximum| as the graph churns. Maximality is
+// a 2-approximation in the worst case; random churn typically sits far
+// above it, and this quantifies how far.
+#include "bench_common.h"
+#include "static_mm/hopcroft_karp.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t nl = args.get_u64("n_left", 1 << 12);
+  const uint64_t nr = args.get_u64("n_right", 1 << 12);
+  const uint64_t target = args.get_u64("target_edges", 3 * nl);
+  const uint64_t checkpoints = args.get_u64("checkpoints", 12);
+  args.finish();
+
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 101;
+  cfg.initial_capacity = 1ull << 22;
+  cfg.auto_rebuild = false;
+  DynamicMatcher m(cfg, pool);
+
+  // Bipartite churn: sample left endpoint from [0, nl), right from
+  // [nl, nl+nr). Reuse ChurnStream by post-mapping is impossible (it draws
+  // from one universe), so generate directly against a LiveSet.
+  Xoshiro256 rng(55);
+  LiveSet live(2);
+  auto random_bip_edge = [&]() {
+    while (true) {
+      const Vertex a = static_cast<Vertex>(rng.below(nl));
+      const Vertex b = static_cast<Vertex>(nl + rng.below(nr));
+      const std::vector<Vertex> eps{a, b};
+      auto ins = live.insert_exact(eps);
+      if (!ins.empty()) return ins;
+    }
+  };
+
+  bench::header("E16 bench_quality",
+                "maximal matching >= 1/2 of maximum (r=2); measured ratio "
+                "on churning bipartite graphs via Hopcroft-Karp");
+  bench::row("%10s %10s %10s %10s %8s", "updates", "edges", "|maximal|",
+             "|maximum|", "ratio");
+
+  uint64_t updates = 0;
+  PercentileStats ratios;
+  for (uint64_t cp = 0; cp < checkpoints; ++cp) {
+    // One churn window: grow to target, then 20% turnover.
+    Batch b;
+    while (live.size() < target) b.insertions.push_back(random_bip_edge());
+    const size_t turnover = live.size() / 5;
+    for (size_t i = 0; i < turnover && cp > 0; ++i)
+      b.deletions.push_back(live.erase_random(rng));
+    for (size_t i = 0; i < turnover && cp > 0; ++i)
+      b.insertions.push_back(random_bip_edge());
+    updates += b.deletions.size() + b.insertions.size();
+
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    m.update(dels, b.insertions);
+
+    const size_t opt = hopcroft_karp_max_matching_split(
+        m.graph(), m.graph().all_edges(), static_cast<Vertex>(nl));
+    const double ratio = static_cast<double>(m.matching_size()) /
+                         static_cast<double>(std::max<size_t>(opt, 1));
+    ratios.add(ratio);
+    bench::row("%10llu %10zu %10zu %10zu %8.4f",
+               static_cast<unsigned long long>(updates),
+               m.graph().num_edges(), m.matching_size(), opt, ratio);
+  }
+  bench::row("# ratio: min=%.4f p50=%.4f (worst-case bound 0.5)",
+             ratios.percentile(0), ratios.median());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E9 (Theorem 1.1): generalization to hypergraphs of rank r costs a
+// poly(r) factor in work while depth stays polylog. Measured: work/update
+// and rounds/batch as r grows on otherwise-identical churn workloads.
+#include "bench_common.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t n = args.get_u64("n", 1 << 12);
+  const uint64_t updates_per_point = args.get_u64("updates", 1 << 15);
+  const uint64_t max_rank = args.get_u64("max_rank", 8);
+  args.finish();
+
+  bench::header("E9 bench_rank_scaling (Theorem 1.1)",
+                "work/update grows poly(r); rounds/batch stays polylog "
+                "(alpha = 4r raises L's base, so L shrinks as r grows)");
+  bench::row("%4s %6s %4s %12s %12s %12s %10s", "r", "alpha", "L",
+             "work/upd", "norm r^3", "rounds/b", "us/upd");
+
+  for (uint32_t r = 2; r <= max_rank; ++r) {
+    ThreadPool pool(1);
+    Config cfg;
+    cfg.max_rank = r;
+    cfg.seed = 61;
+    cfg.initial_capacity = 1ull << 22;
+    cfg.auto_rebuild = false;
+    DynamicMatcher m(cfg, pool);
+
+    ChurnStream::Options so;
+    so.n = static_cast<Vertex>(n);
+    so.rank = r;
+    so.target_edges = 2 * n;
+    so.seed = 29;
+    ChurnStream stream(so);
+    bench::warm(m, stream, 3 * so.target_edges, 1024);
+
+    const size_t batch = 256;
+    const size_t batches = updates_per_point / batch;
+    const auto res = bench::drive(m, stream, batches, batch);
+    const double wpu = static_cast<double>(res.work) /
+                       static_cast<double>(std::max<uint64_t>(res.updates, 1));
+    bench::row("%4u %6llu %4d %12.1f %12.3f %12.1f %10.2f", r,
+               static_cast<unsigned long long>(m.scheme().alpha()),
+               m.scheme().top_level(), wpu,
+               wpu / (static_cast<double>(r) * r * r),
+               static_cast<double>(res.rounds) /
+                   static_cast<double>(batches),
+               res.seconds * 1e6 /
+                   static_cast<double>(std::max<uint64_t>(res.updates, 1)));
+  }
+  return 0;
+}

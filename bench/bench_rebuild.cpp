@@ -1,0 +1,67 @@
+// E14 (§3.2.1): the N-doubling rebuild is amortized O(1) per update — each
+// rebuild costs O(graph), but doublings space out geometrically, so the
+// cumulative work/update stays flat across rebuild boundaries. Measured:
+// per-window work/update over a long insert-heavy stream with auto_rebuild
+// on, annotating the windows in which rebuilds fired.
+#include "bench_common.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t n = args.get_u64("n", 1 << 14);
+  const uint64_t windows = args.get_u64("windows", 24);
+  const uint64_t window_updates = args.get_u64("window_updates", 1 << 13);
+  args.finish();
+
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 91;
+  cfg.initial_capacity = 1 << 10;  // tiny: forces a cascade of rebuilds
+  cfg.auto_rebuild = true;
+  DynamicMatcher m(cfg, pool);
+
+  ChurnStream::Options so;
+  so.n = static_cast<Vertex>(n);
+  so.target_edges = 1ull << 30;  // effectively insert-only
+  so.seed = 47;
+  ChurnStream stream(so);
+
+  bench::header("E14 bench_rebuild (§3.2.1)",
+                "N-doubling rebuilds amortize to O(1)/update: cumulative "
+                "work/update stays flat while N and L grow");
+  bench::row("%7s %10s %6s %4s %12s %14s %10s", "window", "updates", "rbld",
+             "L", "w/upd(win)", "w/upd(cumul)", "N");
+
+  uint64_t cum_work = 0, cum_updates = 0, prev_rebuilds = 0;
+  for (uint64_t w = 0; w < windows; ++w) {
+    uint64_t win_work = 0, win_updates = 0;
+    while (win_updates < window_updates) {
+      const Batch b = stream.next(512);
+      win_updates += b.deletions.size() + b.insertions.size();
+      std::vector<EdgeId> dels;
+      for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+      const auto res = m.update(dels, b.insertions);
+      win_work += res.work;
+    }
+    cum_work += win_work;
+    cum_updates += win_updates;
+    const uint64_t rebuilds = m.stats().rebuilds - prev_rebuilds;
+    prev_rebuilds = m.stats().rebuilds;
+    bench::row("%7llu %10llu %6llu %4d %12.1f %14.1f %10llu",
+               static_cast<unsigned long long>(w),
+               static_cast<unsigned long long>(cum_updates),
+               static_cast<unsigned long long>(rebuilds),
+               m.scheme().top_level(),
+               static_cast<double>(win_work) /
+                   static_cast<double>(win_updates),
+               static_cast<double>(cum_work) /
+                   static_cast<double>(cum_updates),
+               static_cast<unsigned long long>(m.scheme().n_bound()));
+  }
+  bench::row("# expectation: rebuild windows spike w/upd(win) but "
+             "w/upd(cumul) converges");
+  return 0;
+}

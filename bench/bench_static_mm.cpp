@@ -1,0 +1,58 @@
+// E1 (Theorem 2.2): static parallel hypergraph maximal matching finishes in
+// O(log M) Luby rounds with O(M r log M) work.
+//
+// Output: one row per (M, r); `rounds` should grow ~ c * log2(M) and
+// `work/(M r)` should stay within a small factor of `rounds`.
+#include "bench_common.h"
+#include "static_mm/luby.h"
+#include "util/arg_parse.h"
+#include "util/rng.h"
+
+using namespace pdmm;
+
+namespace {
+
+void run_point(ThreadPool& pool, Vertex n, size_t m, uint32_t r,
+               uint64_t seed) {
+  HyperedgeRegistry reg(r);
+  Xoshiro256 rng(seed);
+  while (reg.num_edges() < m) {
+    std::vector<Vertex> eps(r);
+    for (auto& v : eps) v = static_cast<Vertex>(rng.below(n));
+    std::sort(eps.begin(), eps.end());
+    if (std::adjacent_find(eps.begin(), eps.end()) != eps.end()) continue;
+    reg.insert(eps);
+  }
+  const auto all = reg.all_edges();
+  CostCounters cost;
+  Timer t;
+  const StaticMMResult res =
+      static_maximal_matching(pool, reg, all, seed * 77, &cost);
+  const double secs = t.seconds();
+  bench::row("%10zu %4u %8u %8.2f %14llu %10.2f %10zu %9.1fms", m, r,
+             res.rounds, static_cast<double>(res.rounds) / log2_ceil(m + 2),
+             static_cast<unsigned long long>(cost.work),
+             static_cast<double>(cost.work) / (static_cast<double>(m) * r),
+             res.matched.size(), secs * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t max_m = args.get_u64("max_m", 1 << 18);
+  const uint64_t threads = args.get_u64("threads", 0);
+  args.finish();
+
+  ThreadPool pool(static_cast<unsigned>(threads));
+  bench::header("E1 bench_static_mm (Theorem 2.2)",
+                "Luby MM: O(log M) rounds, O(M r log M) work, whp");
+  bench::row("%10s %4s %8s %8s %14s %10s %10s %9s", "M", "r", "rounds",
+             "rnds/lgM", "work", "work/(Mr)", "|M|", "time");
+  for (uint32_t r : {2u, 3u, 5u}) {
+    for (size_t m = 1 << 10; m <= max_m; m *= 4) {
+      run_point(pool, static_cast<Vertex>(m / 2), m, r, 42 + m + r);
+    }
+  }
+  return 0;
+}

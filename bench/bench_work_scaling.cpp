@@ -1,0 +1,60 @@
+// E3 (Theorem 4.16): amortized work per update is
+// O(alpha^8 L^2 log^2(alpha) log^7 N) whp — polylogarithmic in n for fixed
+// rank. Measured: element work per update at steady state as n grows; the
+// growth rate should be consistent with polylog(n) (log-x plot is gently
+// superlinear, while any n^eps growth would double every constant number of
+// rows).
+#include "bench_common.h"
+#include "util/arg_parse.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t max_n = args.get_u64("max_n", 1 << 17);
+  const uint64_t updates_per_point = args.get_u64("updates", 1 << 16);
+  args.finish();
+
+  bench::header("E3 bench_work_scaling (Theorem 4.16)",
+                "amortized work/update polylog(n) for fixed rank");
+  bench::row("%9s %9s %4s %12s %12s %12s %10s", "n", "updates", "L",
+             "work/upd", "w/u/log3N", "rounds/b", "us/upd");
+
+  double prev = 0;
+  for (Vertex n = 1 << 10; n <= max_n; n *= 2) {
+    ThreadPool pool(1);
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = 7;
+    cfg.initial_capacity = 64ull * n + (1ull << 16);
+    cfg.auto_rebuild = false;
+    DynamicMatcher m(cfg, pool);
+
+    ChurnStream::Options so;
+    so.n = n;
+    so.target_edges = 2 * static_cast<size_t>(n);
+    so.seed = 3;
+    ChurnStream stream(so);
+    bench::warm(m, stream, 3 * so.target_edges, 1024);
+
+    const size_t batch = 256;
+    const size_t batches = updates_per_point / batch;
+    const auto r = bench::drive(m, stream, batches, batch);
+
+    const double wpu = static_cast<double>(r.work) /
+                       static_cast<double>(std::max<uint64_t>(r.updates, 1));
+    const double log_n =
+        std::log2(static_cast<double>(m.scheme().n_bound()));
+    bench::row("%9u %9llu %4d %12.1f %12.4f %12.1f %10.2f", n,
+               static_cast<unsigned long long>(r.updates),
+               m.scheme().top_level(), wpu, wpu / (log_n * log_n * log_n),
+               static_cast<double>(r.rounds) / static_cast<double>(batches),
+               r.seconds * 1e6 / static_cast<double>(r.updates));
+    if (prev > 0 && wpu > prev * 4) {
+      bench::row("# WARNING: work/update quadrupled on doubling n — "
+                 "inconsistent with polylog scaling");
+    }
+    prev = wpu;
+  }
+  return 0;
+}

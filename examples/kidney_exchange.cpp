@@ -1,0 +1,74 @@
+// kidney_exchange: dynamic hypergraph matching with rank-3 hyperedges.
+//
+// In kidney exchange, a 3-way cycle (donor/patient pairs A→B→C→A) is a
+// hyperedge over three pairs; executing it requires all three pairs to be
+// unconsumed. A *maximal matching* over these hyperedges is a set of
+// pairwise-disjoint executable exchanges. Pairs arrive and leave (matched
+// elsewhere, timeout, health), so the compatible-cycle set is dynamic —
+// exactly the update model of the paper, with r = 3.
+//
+//   build/examples/example_kidney_exchange [--pairs=N] [--rounds=R]
+#include <cstdio>
+
+#include "core/matcher.h"
+#include "util/arg_parse.h"
+#include "util/rng.h"
+
+using namespace pdmm;
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t pairs = args.get_u64("pairs", 3000);
+  const uint64_t rounds = args.get_u64("rounds", 40);
+  args.finish();
+
+  Config cfg;
+  cfg.max_rank = 3;
+  cfg.seed = 7;
+  cfg.initial_capacity = 1 << 18;
+  ThreadPool pool;
+  DynamicMatcher m(cfg, pool);
+  Xoshiro256 rng(2024);
+
+  std::printf("kidney_exchange: %llu donor/patient pairs, 3-way cycles, "
+              "%llu arrival/departure rounds\n",
+              static_cast<unsigned long long>(pairs),
+              static_cast<unsigned long long>(rounds));
+  std::printf("%6s %12s %14s %14s %10s\n", "round", "cycles", "exchanges",
+              "pairs served", "rounds/b");
+
+  uint64_t served = 0;
+  for (uint64_t round = 0; round < rounds; ++round) {
+    // Arrivals: new compatible 3-cycles discovered among waiting pairs.
+    std::vector<std::vector<Vertex>> found;
+    for (int i = 0; i < 400; ++i) {
+      Vertex a = static_cast<Vertex>(rng.below(pairs));
+      Vertex b = static_cast<Vertex>(rng.below(pairs));
+      Vertex c = static_cast<Vertex>(rng.below(pairs));
+      if (a == b || b == c || a == c) continue;
+      found.push_back({a, b, c});
+    }
+    // Departures: a random 10% of known cycles become infeasible.
+    std::vector<EdgeId> gone;
+    for (EdgeId e : m.graph().all_edges()) {
+      if (rng.uniform() < 0.10) gone.push_back(e);
+    }
+    const auto res = m.update(gone, found);
+
+    // Executed exchanges this round: newly matched cycles commit their
+    // pairs; in a real registry they would then be *deleted* (consumed).
+    std::vector<EdgeId> executed = m.matching();
+    served += 3 * res.newly_matched.size();
+    std::printf("%6llu %12zu %14zu %14llu %10llu\n",
+                static_cast<unsigned long long>(round),
+                m.graph().num_edges(), executed.size(),
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned long long>(res.rounds));
+  }
+  std::printf("final: %zu disjoint executable exchanges over %zu candidate "
+              "cycles\n",
+              m.matching_size(), m.graph().num_edges());
+  std::printf("(maximality guarantees no executable cycle is overlooked; "
+              "size >= 1/3 of the maximum by the rank bound)\n");
+  return 0;
+}

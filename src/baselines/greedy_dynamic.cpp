@@ -1,0 +1,93 @@
+#include "baselines/greedy_dynamic.h"
+
+namespace pdmm {
+
+void GreedyDynamicMatcher::grow() {
+  if (reg_.vertex_bound() > incident_.size()) {
+    incident_.resize(reg_.vertex_bound());
+    vertex_match_.resize(reg_.vertex_bound(), kNoEdge);
+  }
+  if (reg_.id_bound() > matched_.size()) matched_.resize(reg_.id_bound(), 0);
+}
+
+bool GreedyDynamicMatcher::all_free(EdgeId e) const {
+  for (Vertex u : reg_.endpoints(e)) {
+    if (vertex_match_[u] != kNoEdge) return false;
+  }
+  return true;
+}
+
+void GreedyDynamicMatcher::match(EdgeId e) {
+  matched_[e] = 1;
+  ++matching_size_;
+  for (Vertex u : reg_.endpoints(e)) vertex_match_[u] = e;
+  work_ += reg_.endpoints(e).size();
+}
+
+// A vertex lost its matched edge: scan its whole incidence list for any
+// edge that is now entirely free. This scan is the Theta(degree) cost the
+// leveling scheme amortizes away.
+void GreedyDynamicMatcher::repair_vertex(Vertex v) {
+  if (vertex_match_[v] != kNoEdge) return;
+  const IndexedSet& inc = incident_[v];
+  work_ += inc.size();
+  for (size_t i = 0; i < inc.size(); ++i) {
+    const EdgeId f = inc.at(i);
+    if (all_free(f)) {
+      match(f);
+      return;
+    }
+  }
+}
+
+EdgeId GreedyDynamicMatcher::insert_edge(std::span<const Vertex> eps) {
+  const EdgeId e = reg_.insert(eps);
+  if (e == kNoEdge) return kNoEdge;
+  grow();
+  for (Vertex u : reg_.endpoints(e)) incident_[u].insert(e);
+  work_ += eps.size();
+  if (all_free(e)) match(e);
+  return e;
+}
+
+void GreedyDynamicMatcher::delete_edge(EdgeId e) {
+  PDMM_ASSERT(reg_.alive(e));
+  const bool was_matched = matched_[e];
+  std::vector<Vertex> eps(reg_.endpoints(e).begin(), reg_.endpoints(e).end());
+  for (Vertex u : eps) incident_[u].erase(e);
+  matched_[e] = 0;
+  if (was_matched) {
+    --matching_size_;
+    for (Vertex u : eps) vertex_match_[u] = kNoEdge;
+  }
+  reg_.erase(e);
+  work_ += eps.size();
+  if (was_matched) {
+    for (Vertex u : eps) repair_vertex(u);
+  }
+}
+
+std::vector<EdgeId> GreedyDynamicMatcher::apply(
+    std::span<const EdgeId> deletions,
+    std::span<const std::vector<Vertex>> insertions) {
+  for (EdgeId e : deletions) delete_edge(e);
+  std::vector<EdgeId> ids;
+  ids.reserve(insertions.size());
+  for (const auto& eps : insertions) ids.push_back(insert_edge(eps));
+  return ids;
+}
+
+void GreedyDynamicMatcher::check_invariants() const {
+  for (EdgeId e : reg_.all_edges()) {
+    if (matched_[e]) {
+      for (Vertex u : reg_.endpoints(e)) PDMM_ASSERT(vertex_match_[u] == e);
+    } else {
+      bool covered = false;
+      for (Vertex u : reg_.endpoints(e))
+        covered |= vertex_match_[u] != kNoEdge;
+      PDMM_ASSERT_MSG(covered, "greedy baseline: maximality violated");
+    }
+  }
+}
+
+}  // namespace pdmm

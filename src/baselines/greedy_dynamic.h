@@ -1,0 +1,52 @@
+// GreedyDynamicMatcher: the naive dynamic baseline the paper's §3.1 opens
+// with — no leveling, no sampling. Insertions match greedily; deleting a
+// matched edge triggers a full scan of every incidence list of its freed
+// endpoints. Correct and simple, with Theta(degree) worst-case work per
+// deletion; experiment E5/E10 shows the blowup the leveling scheme avoids.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/matcher_base.h"
+#include "graph/registry.h"
+#include "util/indexed_set.h"
+
+namespace pdmm {
+
+class GreedyDynamicMatcher : public MatcherBase {
+ public:
+  explicit GreedyDynamicMatcher(uint32_t max_rank) : reg_(max_rank) {}
+
+  std::vector<EdgeId> apply(
+      std::span<const EdgeId> deletions,
+      std::span<const std::vector<Vertex>> insertions) override;
+
+  const HyperedgeRegistry& graph() const override { return reg_; }
+  size_t matching_size() const override { return matching_size_; }
+  bool is_matched(EdgeId e) const override {
+    return e < matched_.size() && matched_[e];
+  }
+  UpdateCost total_cost() const override { return {work_, work_}; }
+  std::string name() const override { return "greedy-repair"; }
+
+  EdgeId insert_edge(std::span<const Vertex> endpoints);
+  void delete_edge(EdgeId e);
+  void check_invariants() const;
+
+ private:
+  bool all_free(EdgeId e) const;
+  void match(EdgeId e);
+  void repair_vertex(Vertex v);
+  void grow();
+
+  HyperedgeRegistry reg_;
+  std::vector<uint8_t> matched_;
+  std::vector<EdgeId> vertex_match_;     // matched edge per vertex
+  std::vector<IndexedSet> incident_;     // full incidence lists
+  size_t matching_size_ = 0;
+  uint64_t work_ = 0;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,38 @@
+// Common interface for all dynamic-matching implementations, used by the
+// benchmark harnesses to run pdmm and the three baselines over identical
+// update streams (experiments E4, E5, E10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/registry.h"
+#include "graph/types.h"
+
+namespace pdmm {
+
+class MatcherBase {
+ public:
+  virtual ~MatcherBase() = default;
+
+  struct UpdateCost {
+    uint64_t work = 0;    // element operations
+    uint64_t rounds = 0;  // sequential parallel rounds (depth proxy)
+  };
+
+  // Applies one batch (deletions by id, then insertions by endpoints) and
+  // returns per-insertion assigned ids (kNoEdge for rejected duplicates).
+  virtual std::vector<EdgeId> apply(
+      std::span<const EdgeId> deletions,
+      std::span<const std::vector<Vertex>> insertions) = 0;
+
+  virtual const HyperedgeRegistry& graph() const = 0;
+  virtual size_t matching_size() const = 0;
+  virtual bool is_matched(EdgeId e) const = 0;
+  virtual UpdateCost total_cost() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pdmm

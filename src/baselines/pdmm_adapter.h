@@ -1,0 +1,34 @@
+// MatcherBase adapter over the core DynamicMatcher, so benchmark harnesses
+// can drive pdmm and the baselines through one interface.
+#pragma once
+
+#include "baselines/matcher_base.h"
+#include "core/matcher.h"
+
+namespace pdmm {
+
+class PdmmAdapter : public MatcherBase {
+ public:
+  PdmmAdapter(const Config& cfg, ThreadPool& pool) : m_(cfg, pool) {}
+
+  std::vector<EdgeId> apply(
+      std::span<const EdgeId> deletions,
+      std::span<const std::vector<Vertex>> insertions) override {
+    return m_.update(deletions, insertions).inserted_ids;
+  }
+
+  const HyperedgeRegistry& graph() const override { return m_.graph(); }
+  size_t matching_size() const override { return m_.matching_size(); }
+  bool is_matched(EdgeId e) const override { return m_.is_matched(e); }
+  UpdateCost total_cost() const override {
+    return {m_.cost().work, m_.cost().rounds};
+  }
+  std::string name() const override { return "pdmm"; }
+
+  DynamicMatcher& matcher() { return m_; }
+
+ private:
+  DynamicMatcher m_;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,371 @@
+#include "baselines/sequential_dynamic.h"
+
+#include <algorithm>
+
+namespace pdmm {
+
+SequentialDynamicMatcher::SequentialDynamicMatcher(const Options& opt)
+    : opt_(opt),
+      scheme_(opt.max_rank, std::max<uint64_t>(opt.initial_capacity, 2)),
+      rng_(opt.seed),
+      reg_(opt.max_rank) {}
+
+void SequentialDynamicMatcher::grow(Vertex vb, size_t eb) {
+  if (vb > verts_.size()) verts_.resize(vb);
+  if (eb > elevel_.size()) {
+    elevel_.resize(eb, 0);
+    eowner_.resize(eb, kNoVertex);
+    eflags_.resize(eb, 0);
+    eresp_.resize(eb, kNoEdge);
+    edge_d_.resize(eb);
+  }
+}
+
+uint64_t SequentialDynamicMatcher::o_tilde(Vertex v, Level l) const {
+  const VertexState& vs = verts_[v];
+  uint64_t t = vs.owned.size();
+  for (const auto& ls : vs.a_sets)
+    if (ls.level < l) t += ls.set.size();
+  return t;
+}
+
+Level SequentialDynamicMatcher::rising_level(Vertex v) const {
+  const VertexState& vs = verts_[v];
+  for (Level l = scheme_.top_level(); l > std::max(vs.level, Level{-1});
+       --l) {
+    if (l > vs.level && o_tilde(v, l) >= scheme_.rise_threshold(l)) return l;
+  }
+  return kUnmatchedLevel;
+}
+
+void SequentialDynamicMatcher::insert_into_structures(EdgeId e) {
+  const auto eps = reg_.endpoints(e);
+  Vertex owner = eps[0];
+  Level maxl = verts_[eps[0]].level;
+  for (size_t i = 1; i < eps.size(); ++i) {
+    if (verts_[eps[i]].level > maxl) {
+      maxl = verts_[eps[i]].level;
+      owner = eps[i];
+    }
+  }
+  PDMM_ASSERT(maxl >= 0);
+  elevel_[e] = maxl;
+  eowner_[e] = owner;
+  verts_[owner].owned.insert(e);
+  for (Vertex u : eps)
+    if (u != owner) verts_[u].ensure_a(maxl).insert(e);
+  work_ += eps.size();
+}
+
+void SequentialDynamicMatcher::remove_from_structures(EdgeId e) {
+  const auto eps = reg_.endpoints(e);
+  verts_[eowner_[e]].owned.erase(e);
+  for (Vertex u : eps)
+    if (u != eowner_[e]) verts_[u].erase_a(elevel_[e], e);
+  work_ += eps.size();
+}
+
+// set-level for a single vertex: re-own all edges v owns (their levels may
+// drop with v), and capture A(v, l') for l' < to when rising.
+void SequentialDynamicMatcher::set_level(Vertex v, Level to) {
+  VertexState& vs = verts_[v];
+  const Level from = vs.level;
+  if (from == to) return;
+  std::vector<EdgeId> affected(vs.owned.items().begin(),
+                               vs.owned.items().end());
+  if (to > from) {
+    for (auto& ls : vs.a_sets) {
+      if (ls.level < to)
+        affected.insert(affected.end(), ls.set.items().begin(),
+                        ls.set.items().end());
+    }
+  }
+  vs.level = to;
+  work_ += affected.size() + 1;
+  for (EdgeId e : affected) {
+    const auto eps = reg_.endpoints(e);
+    const Vertex old_owner = eowner_[e];
+    const Level old_lvl = elevel_[e];
+    Level maxl = kUnmatchedLevel;
+    for (Vertex u : eps) maxl = std::max(maxl, verts_[u].level);
+    PDMM_ASSERT(maxl >= 0);
+    Vertex new_owner = old_owner;
+    if (verts_[old_owner].level != maxl) {
+      for (Vertex u : eps) {
+        if (verts_[u].level == maxl) {
+          new_owner = u;
+          break;
+        }
+      }
+    }
+    if (old_owner == new_owner && old_lvl == maxl) continue;
+    // Relocate e in its endpoints' structures.
+    verts_[old_owner].owned.erase(e);
+    for (Vertex u : eps)
+      if (u != old_owner) verts_[u].erase_a(old_lvl, e);
+    elevel_[e] = maxl;
+    eowner_[e] = new_owner;
+    verts_[new_owner].owned.insert(e);
+    for (Vertex u : eps)
+      if (u != new_owner) verts_[u].ensure_a(maxl).insert(e);
+    work_ += eps.size();
+  }
+}
+
+void SequentialDynamicMatcher::match(EdgeId e, Level l) {
+  PDMM_ASSERT(!(eflags_[e] & kMatched));
+  // Kick the matched edges of endpoints first.
+  for (Vertex u : reg_.endpoints(e)) {
+    const EdgeId m = verts_[u].matched;
+    if (m != kNoEdge && m != e) {
+      unmatch(m);
+      remove_from_structures(m);
+      if (edge_d_[m]) {
+        for (EdgeId f : edge_d_[m]->items()) {
+          eflags_[f] &= static_cast<uint8_t>(~kTempDeleted);
+          eresp_[f] = kNoEdge;
+          insert_queue_.push_back(f);
+        }
+        edge_d_[m]->clear();
+      }
+      insert_queue_.push_back(m);
+    }
+  }
+  eflags_[e] |= kMatched;
+  ++matching_size_;
+  for (Vertex u : reg_.endpoints(e)) {
+    verts_[u].matched = e;
+    set_level(u, l);
+  }
+  work_ += reg_.endpoints(e).size();
+}
+
+void SequentialDynamicMatcher::unmatch(EdgeId e) {
+  PDMM_ASSERT(eflags_[e] & kMatched);
+  eflags_[e] &= static_cast<uint8_t>(~kMatched);
+  --matching_size_;
+  for (Vertex u : reg_.endpoints(e)) {
+    if (verts_[u].matched == e) {
+      verts_[u].matched = kNoEdge;
+      free_queue_.push_back(u);
+    }
+  }
+  work_ += reg_.endpoints(e).size();
+}
+
+void SequentialDynamicMatcher::temp_delete(EdgeId f, EdgeId resp) {
+  PDMM_ASSERT(!(eflags_[f] & (kMatched | kTempDeleted)));
+  remove_from_structures(f);
+  eflags_[f] |= kTempDeleted;
+  eresp_[f] = resp;
+  if (!edge_d_[resp]) edge_d_[resp] = std::make_unique<IndexedSet>();
+  edge_d_[resp]->insert(f);
+  ++work_;
+}
+
+// random-settle(v, l) (§3.3.2, sequential setting).
+void SequentialDynamicMatcher::random_settle(Vertex v, Level l) {
+  set_level(v, l);
+  const IndexedSet& owned = verts_[v].owned;
+  PDMM_ASSERT(!owned.empty());
+  const EdgeId e = owned.sample(rng_());
+  if (eflags_[e] & kMatched) {
+    // Sampled v's own matched edge: it simply rises with v (its endpoints
+    // follow); no kick needed.
+    for (Vertex u : reg_.endpoints(e)) set_level(u, l);
+    elevel_[e] = l;
+  } else {
+    match(e, l);
+  }
+  // D(e) <- the rest of O(v).
+  const std::vector<EdgeId> rest(owned.items().begin(), owned.items().end());
+  for (EdgeId f : rest) {
+    if (f != e && !(eflags_[f] & kMatched)) temp_delete(f, e);
+  }
+  work_ += rest.size();
+}
+
+void SequentialDynamicMatcher::settle_if_rising(Vertex v) {
+  const Level l = rising_level(v);
+  if (l != kUnmatchedLevel) random_settle(v, l);
+}
+
+// A vertex left unmatched: match a free owned edge at level 0 if any,
+// otherwise drop the vertex to level -1.
+void SequentialDynamicMatcher::handle_free_vertex(Vertex v) {
+  VertexState& vs = verts_[v];
+  if (vs.matched != kNoEdge) return;  // repaired meanwhile
+  // Rising first (the expensive-deletion amortization path).
+  const Level l = rising_level(v);
+  if (l != kUnmatchedLevel) {
+    random_settle(v, l);
+    return;
+  }
+  // Scan owned edges for one that is entirely free.
+  work_ += vs.owned.size();
+  for (size_t i = 0; i < vs.owned.size(); ++i) {
+    const EdgeId f = vs.owned.at(i);
+    bool free = true;
+    for (Vertex u : reg_.endpoints(f))
+      free &= verts_[u].matched == kNoEdge;
+    if (free) {
+      match(f, 0);
+      return;
+    }
+  }
+  set_level(v, kUnmatchedLevel);
+}
+
+void SequentialDynamicMatcher::process_queue() {
+  while (!free_queue_.empty() || !insert_queue_.empty()) {
+    if (!free_queue_.empty()) {
+      const Vertex v = free_queue_.back();
+      free_queue_.pop_back();
+      handle_free_vertex(v);
+      continue;
+    }
+    const EdgeId e = insert_queue_.back();
+    insert_queue_.pop_back();
+    // Reinsertion of a kicked or dissolved edge.
+    bool free = true;
+    for (Vertex u : reg_.endpoints(e)) free &= verts_[u].matched == kNoEdge;
+    if (free) {
+      // All endpoints free: match at level 0 (endpoints rise from -1).
+      for (Vertex u : reg_.endpoints(e)) set_level(u, 0);
+      // Structures must hold e before match() relocates endpoints.
+      insert_into_structures(e);
+      match(e, 0);
+    } else {
+      insert_into_structures(e);
+      // Any endpoint may have crossed a rising threshold.
+      for (Vertex u : reg_.endpoints(e)) settle_if_rising(u);
+    }
+  }
+}
+
+EdgeId SequentialDynamicMatcher::insert_edge(std::span<const Vertex> eps) {
+  maybe_rebuild();
+  const EdgeId e = reg_.insert(eps);
+  if (e == kNoEdge) return kNoEdge;
+  ++updates_used_;
+  grow(reg_.vertex_bound(), reg_.id_bound());
+  bool free = true;
+  for (Vertex u : eps) free &= verts_[u].matched == kNoEdge;
+  if (free) {
+    for (Vertex u : eps) set_level(u, 0);
+    insert_into_structures(e);
+    match(e, 0);
+  } else {
+    insert_into_structures(e);
+    for (Vertex u : eps) settle_if_rising(u);
+  }
+  process_queue();
+  if (opt_.check_invariants) check_invariants();
+  return e;
+}
+
+void SequentialDynamicMatcher::delete_edge(EdgeId e) {
+  maybe_rebuild();
+  PDMM_ASSERT(reg_.alive(e));
+  ++updates_used_;
+  if (eflags_[e] & kTempDeleted) {
+    const EdgeId resp = eresp_[e];
+    edge_d_[resp]->erase(e);
+    eflags_[e] = 0;
+    eresp_[e] = kNoEdge;
+    reg_.erase(e);
+    ++work_;
+  } else if (eflags_[e] & kMatched) {
+    unmatch(e);
+    remove_from_structures(e);
+    if (edge_d_[e]) {
+      for (EdgeId f : edge_d_[e]->items()) {
+        eflags_[f] &= static_cast<uint8_t>(~kTempDeleted);
+        eresp_[f] = kNoEdge;
+        insert_queue_.push_back(f);
+      }
+      edge_d_[e]->clear();
+    }
+    reg_.erase(e);
+    process_queue();
+  } else {
+    remove_from_structures(e);
+    reg_.erase(e);
+  }
+  if (opt_.check_invariants) check_invariants();
+}
+
+std::vector<EdgeId> SequentialDynamicMatcher::apply(
+    std::span<const EdgeId> deletions,
+    std::span<const std::vector<Vertex>> insertions) {
+  for (EdgeId e : deletions) delete_edge(e);
+  std::vector<EdgeId> ids;
+  ids.reserve(insertions.size());
+  for (const auto& eps : insertions) ids.push_back(insert_edge(eps));
+  return ids;
+}
+
+void SequentialDynamicMatcher::maybe_rebuild() {
+  if (!opt_.auto_rebuild || updates_used_ < scheme_.n_bound()) return;
+  const uint64_t new_n =
+      2 * std::max<uint64_t>(scheme_.n_bound(),
+                             updates_used_ + reg_.vertex_bound());
+  scheme_ = LevelScheme(opt_.max_rank, new_n);
+  updates_used_ = 0;
+  rebuild();
+}
+
+void SequentialDynamicMatcher::rebuild() {
+  verts_.clear();
+  std::fill(elevel_.begin(), elevel_.end(), 0);
+  std::fill(eowner_.begin(), eowner_.end(), kNoVertex);
+  std::fill(eflags_.begin(), eflags_.end(), 0);
+  std::fill(eresp_.begin(), eresp_.end(), kNoEdge);
+  for (auto& d : edge_d_) d.reset();
+  matching_size_ = 0;
+  free_queue_.clear();
+  insert_queue_.clear();
+  grow(reg_.vertex_bound(), reg_.id_bound());
+  for (EdgeId e : reg_.all_edges()) {
+    bool free = true;
+    for (Vertex u : reg_.endpoints(e)) free &= verts_[u].matched == kNoEdge;
+    if (free) {
+      for (Vertex u : reg_.endpoints(e)) set_level(u, 0);
+      insert_into_structures(e);
+      match(e, 0);
+    } else {
+      insert_into_structures(e);
+    }
+    work_ += reg_.endpoints(e).size();
+  }
+}
+
+void SequentialDynamicMatcher::check_invariants() const {
+  // Matching validity + maximality + level/ownership coherence.
+  for (EdgeId e : reg_.all_edges()) {
+    const auto eps = reg_.endpoints(e);
+    if (eflags_[e] & kTempDeleted) {
+      PDMM_ASSERT(eresp_[e] != kNoEdge && (eflags_[eresp_[e]] & kMatched));
+      continue;
+    }
+    Level maxl = kUnmatchedLevel;
+    for (Vertex u : eps) maxl = std::max(maxl, verts_[u].level);
+    PDMM_ASSERT(elevel_[e] == maxl);
+    PDMM_ASSERT(verts_[eowner_[e]].level == maxl);
+    PDMM_ASSERT(verts_[eowner_[e]].owned.contains(e));
+    if (eflags_[e] & kMatched) {
+      for (Vertex u : eps) PDMM_ASSERT(verts_[u].matched == e);
+      for (Vertex u : eps) PDMM_ASSERT(verts_[u].level == elevel_[e]);
+    } else {
+      bool covered = false;
+      for (Vertex u : eps) covered |= verts_[u].matched != kNoEdge;
+      PDMM_ASSERT_MSG(covered, "sequential baseline: maximality violated");
+    }
+  }
+  for (Vertex v = 0; v < verts_.size(); ++v) {
+    PDMM_ASSERT((verts_[v].level == kUnmatchedLevel) ==
+                (verts_[v].matched == kNoEdge));
+  }
+}
+
+}  // namespace pdmm

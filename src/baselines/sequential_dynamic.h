@@ -1,0 +1,133 @@
+// SequentialDynamicMatcher: the sequential dynamic maximal matching
+// algorithm in the style of Baswana–Gupta–Sen [BGS11] and Assadi–Solomon
+// [AS21], i.e. the "sequential counterpart" the paper parallelizes. It uses
+// the same leveling scheme (alpha = 4r, L = ceil(log_alpha N)), ownership,
+// temporarily-deleted sets D(e) and random-settle, but processes updates
+// strictly one at a time — so the depth of a batch of k updates is Theta(k)
+// times its per-update work, which is the quantity experiment E4 contrasts
+// with pdmm's polylog batch depth.
+//
+// For this baseline, `rounds` equals `work`: a sequential algorithm's
+// dependency chain is its operation count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/matcher_base.h"
+#include "core/level_scheme.h"
+#include "graph/registry.h"
+#include "graph/types.h"
+#include "util/indexed_set.h"
+#include "util/rng.h"
+
+namespace pdmm {
+
+class SequentialDynamicMatcher : public MatcherBase {
+ public:
+  struct Options {
+    uint32_t max_rank = 2;
+    uint64_t seed = 0x5eedULL;
+    uint64_t initial_capacity = 1024;
+    bool auto_rebuild = true;
+    bool check_invariants = false;
+  };
+
+  explicit SequentialDynamicMatcher(const Options& opt);
+
+  std::vector<EdgeId> apply(
+      std::span<const EdgeId> deletions,
+      std::span<const std::vector<Vertex>> insertions) override;
+
+  const HyperedgeRegistry& graph() const override { return reg_; }
+  size_t matching_size() const override { return matching_size_; }
+  bool is_matched(EdgeId e) const override {
+    return e < eflags_.size() && (eflags_[e] & kMatched);
+  }
+  UpdateCost total_cost() const override { return {work_, work_}; }
+  std::string name() const override { return "sequential-dynamic"; }
+
+  Level vertex_level(Vertex v) const {
+    return v < verts_.size() ? verts_[v].level : kUnmatchedLevel;
+  }
+  const LevelScheme& scheme() const { return scheme_; }
+
+  // Single-update convenience API (the natural interface of this model).
+  EdgeId insert_edge(std::span<const Vertex> endpoints);
+  void delete_edge(EdgeId e);
+
+  void check_invariants() const;
+
+ private:
+  static constexpr uint8_t kMatched = 1;
+  static constexpr uint8_t kTempDeleted = 2;
+
+  struct LevelSet {
+    Level level;
+    IndexedSet set;
+  };
+  struct VertexState {
+    Level level = kUnmatchedLevel;
+    EdgeId matched = kNoEdge;
+    IndexedSet owned;
+    std::vector<LevelSet> a_sets;
+    IndexedSet* find_a(Level l) {
+      for (auto& ls : a_sets)
+        if (ls.level == l) return &ls.set;
+      return nullptr;
+    }
+    IndexedSet& ensure_a(Level l) {
+      if (IndexedSet* s = find_a(l)) return *s;
+      a_sets.push_back({l, {}});
+      return a_sets.back().set;
+    }
+    void erase_a(Level l, EdgeId e) {
+      for (size_t i = 0; i < a_sets.size(); ++i) {
+        if (a_sets[i].level != l) continue;
+        a_sets[i].set.erase(e);
+        if (a_sets[i].set.empty()) {
+          if (i + 1 != a_sets.size()) a_sets[i] = std::move(a_sets.back());
+          a_sets.pop_back();
+        }
+        return;
+      }
+      PDMM_ASSERT(false);
+    }
+  };
+
+  uint64_t o_tilde(Vertex v, Level l) const;
+  void set_level(Vertex v, Level to);
+  void insert_into_structures(EdgeId e);
+  void remove_from_structures(EdgeId e);
+  void handle_free_vertex(Vertex v);
+  void random_settle(Vertex v, Level l);
+  Level rising_level(Vertex v) const;  // highest l with o~(v,l) >= alpha^l
+  void settle_if_rising(Vertex v);
+  void temp_delete(EdgeId f, EdgeId resp);
+  void unmatch(EdgeId e);
+  void match(EdgeId e, Level l);
+  void process_queue();
+  void grow(Vertex vb, size_t eb);
+  void maybe_rebuild();
+  void rebuild();
+
+  Options opt_;
+  LevelScheme scheme_;
+  Xoshiro256 rng_;
+  HyperedgeRegistry reg_;
+  std::vector<VertexState> verts_;
+  std::vector<Level> elevel_;
+  std::vector<Vertex> eowner_;
+  std::vector<uint8_t> eflags_;
+  std::vector<EdgeId> eresp_;
+  std::vector<std::unique_ptr<IndexedSet>> edge_d_;
+  std::vector<Vertex> free_queue_;   // vertices left free, pending repair
+  std::vector<EdgeId> insert_queue_; // reinsertions pending
+  size_t matching_size_ = 0;
+  uint64_t work_ = 0;
+  uint64_t updates_used_ = 0;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,30 @@
+#include "baselines/static_recompute.h"
+
+#include "static_mm/luby.h"
+#include "util/rng.h"
+
+namespace pdmm {
+
+std::vector<EdgeId> StaticRecomputeMatcher::apply(
+    std::span<const EdgeId> deletions,
+    std::span<const std::vector<Vertex>> insertions) {
+  ++batch_counter_;
+  for (EdgeId e : deletions) {
+    PDMM_ASSERT(reg_.alive(e));
+    reg_.erase(e);
+  }
+  std::vector<EdgeId> ids;
+  ids.reserve(insertions.size());
+  for (const auto& eps : insertions) ids.push_back(reg_.insert(eps));
+  cost_.round(deletions.size() + insertions.size());
+
+  const std::vector<EdgeId> all = reg_.all_edges();
+  matched_.assign(reg_.id_bound(), 0);
+  StaticMMResult mm = static_maximal_matching(
+      pool_, reg_, all, hash_mix(seed_, batch_counter_), &cost_);
+  for (EdgeId e : mm.matched) matched_[e] = 1;
+  matching_size_ = mm.matched.size();
+  return ids;
+}
+
+}  // namespace pdmm

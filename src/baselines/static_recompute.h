@@ -1,0 +1,45 @@
+// StaticRecomputeMatcher: recomputes a maximal matching from scratch with
+// the static parallel algorithm (Theorem 2.2) after every batch. This is
+// the "static parallel algorithm" end of the spectrum the paper subsumes:
+// polylog depth per batch, but Theta(M r) work per batch regardless of
+// batch size — experiment E5 locates the crossover against pdmm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/matcher_base.h"
+#include "graph/registry.h"
+#include "parallel/cost_model.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+class StaticRecomputeMatcher : public MatcherBase {
+ public:
+  StaticRecomputeMatcher(uint32_t max_rank, uint64_t seed, ThreadPool& pool)
+      : reg_(max_rank), seed_(seed), pool_(pool) {}
+
+  std::vector<EdgeId> apply(
+      std::span<const EdgeId> deletions,
+      std::span<const std::vector<Vertex>> insertions) override;
+
+  const HyperedgeRegistry& graph() const override { return reg_; }
+  size_t matching_size() const override { return matching_size_; }
+  bool is_matched(EdgeId e) const override {
+    return e < matched_.size() && matched_[e];
+  }
+  UpdateCost total_cost() const override { return {cost_.work, cost_.rounds}; }
+  std::string name() const override { return "static-recompute"; }
+
+ private:
+  HyperedgeRegistry reg_;
+  uint64_t seed_;
+  ThreadPool& pool_;
+  std::vector<uint8_t> matched_;
+  size_t matching_size_ = 0;
+  uint64_t batch_counter_ = 0;
+  CostCounters cost_;
+};
+
+}  // namespace pdmm

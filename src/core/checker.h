@@ -1,0 +1,30 @@
+// Exhaustive invariant validation for DynamicMatcher (test oracle).
+//
+// check() walks the entire matcher state and asserts every structural
+// invariant of §3.2 plus matching validity and maximality. It is O(graph)
+// per call and meant for tests and fuzzing (Config::check_invariants), not
+// production batches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/registry.h"
+#include "graph/types.h"
+
+namespace pdmm {
+
+class DynamicMatcher;
+
+class MatchingChecker {
+ public:
+  // Aborts (PDMM_ASSERT) on the first violated invariant.
+  static void check(const DynamicMatcher& m);
+
+  // Standalone: asserts `matched` is a valid maximal matching of all alive
+  // edges of `reg` (used for the baselines and the static algorithm).
+  static void check_maximal_matching(const HyperedgeRegistry& reg,
+                                     std::span<const EdgeId> matched);
+};
+
+}  // namespace pdmm

@@ -1,0 +1,52 @@
+// Configuration of the dynamic matcher.
+#pragma once
+
+#include <cstdint>
+
+namespace pdmm {
+
+struct Config {
+  // Maximum hyperedge rank r. alpha = 4r per §3.2.1.
+  uint32_t max_rank = 2;
+
+  // Seed for all algorithm randomness (the adversary must not see it).
+  uint64_t seed = 0x5eedULL;
+
+  // Initial value of N, the bound on #vertices + #updates. When the budget
+  // is exhausted N doubles and all structures rebuild (§3.2.1).
+  uint64_t initial_capacity = 1024;
+
+  // Whether to perform the N-doubling rebuild automatically. Disabling it
+  // keeps L fixed (useful for controlled benchmarks); the guarantees then
+  // hold only while the update count stays within initial_capacity.
+  bool auto_rebuild = true;
+
+  // Run the Step-2 settle sweep again after the insertion phase so
+  // Invariant 3.5(2) holds after *every* batch (eager mode; see DESIGN.md
+  // §2 step 4). Paper-exact lazy mode when false.
+  bool settle_after_insertions = true;
+
+  // Eager mode only: settle sweeps can kick matched edges, whose
+  // reinsertion can re-populate the rising sets; the drain loop alternates
+  // sweep/reinsert until clean, up to this many iterations (then the
+  // residue is left for the next batch, exactly as lazy mode would).
+  uint32_t max_eager_sweeps = 8;
+
+  // grand-random-subsettle runs ceil(subsettle_iter_factor * log2 |E'|)
+  // iterations of subsubsettle per phase (the paper's O(log |E'|)).
+  uint32_t subsettle_iter_factor = 2;
+
+  // Hard cap on subsettle repetitions inside one grand-random-settle before
+  // falling back to sequential settling (whp O(log N) repeats suffice; the
+  // cap guards against pathological seeds and is counted in stats).
+  uint32_t max_settle_repeats = 64;
+
+  // Collect per-epoch statistics (benchmarks E7/E8); small constant
+  // overhead per matching change.
+  bool collect_epoch_stats = true;
+
+  // Validate all invariants after every batch (tests only; O(graph) work).
+  bool check_invariants = false;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,46 @@
+// The leveling scheme constants of §3.2.1: alpha = 4r and L = ceil(log_alpha N).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/assert.h"
+#include "util/bits.h"
+
+namespace pdmm {
+
+class LevelScheme {
+ public:
+  LevelScheme(uint32_t max_rank, uint64_t n_bound)
+      : alpha_(4ULL * max_rank),
+        big_n_(n_bound < 2 ? 2 : n_bound),
+        levels_(std::max(1u, log_ceil(alpha_, big_n_))) {
+    // Precompute alpha^l for l in [0, L+2]; exponents stay tiny so this
+    // never saturates for realistic N.
+    pow_.resize(levels_ + 3);
+    for (uint32_t l = 0; l < pow_.size(); ++l) pow_[l] = ipow_sat(alpha_, l);
+  }
+
+  uint64_t alpha() const { return alpha_; }
+  uint64_t n_bound() const { return big_n_; }
+  // Highest vertex/edge level L; vertex levels live in [-1, L].
+  Level top_level() const { return static_cast<Level>(levels_); }
+
+  // alpha^l (l may be up to L+2, as used by the marking probability).
+  uint64_t alpha_pow(Level l) const {
+    PDMM_DASSERT(l >= 0 && static_cast<size_t>(l) < pow_.size());
+    return pow_[static_cast<size_t>(l)];
+  }
+
+  // Rising threshold of S_l: v joins when o~(v, l) >= alpha^l.
+  uint64_t rise_threshold(Level l) const { return alpha_pow(l); }
+
+ private:
+  uint64_t alpha_;
+  uint64_t big_n_;
+  uint32_t levels_;
+  std::vector<uint64_t> pow_;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,719 @@
+// DynamicMatcher: update pipeline and structural primitives (§3.2–3.3).
+// The grand-random-settle machinery lives in settle.cpp.
+#include "core/matcher.h"
+
+#include <algorithm>
+
+#include "core/checker.h"
+#include "dict/batch_ops.h"
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/sort.h"
+#include "static_mm/luby.h"
+
+namespace pdmm {
+
+namespace {
+// Epoch stats are kept in fixed-size arrays so the N-doubling rebuild never
+// loses history; L = ceil(log_alpha N) <= 42 for alpha >= 4 and 64-bit N.
+constexpr size_t kMaxLevels = 48;
+}  // namespace
+
+DynamicMatcher::DynamicMatcher(const Config& cfg, ThreadPool& pool)
+    : cfg_(cfg),
+      pool_(pool),
+      scheme_(cfg.max_rank, std::max<uint64_t>(cfg.initial_capacity, 2)),
+      rng_(cfg.seed),
+      reg_(cfg.max_rank),
+      epochs_(kMaxLevels) {
+  PDMM_ASSERT(cfg.max_rank >= 1);
+  PDMM_ASSERT(static_cast<size_t>(scheme_.top_level()) + 1 < kMaxLevels);
+  s_.resize(static_cast<size_t>(scheme_.top_level()) + 1);
+  undecided_.resize(static_cast<size_t>(scheme_.top_level()) + 1);
+}
+
+DynamicMatcher::~DynamicMatcher() = default;
+
+std::vector<EdgeId> DynamicMatcher::matching() const {
+  std::vector<EdgeId> out;
+  out.reserve(matching_size_);
+  for (EdgeId e = 0; e < eflags_.size(); ++e) {
+    if (eflags_[e] & kMatched) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Vertex> DynamicMatcher::vertex_cover() const {
+  std::vector<Vertex> cover;
+  cover.reserve(matching_size_ * reg_.max_rank());
+  for (Vertex v = 0; v < verts_.size(); ++v) {
+    if (verts_[v].matched != kNoEdge) cover.push_back(v);
+  }
+  return cover;
+}
+
+uint64_t DynamicMatcher::o_tilde(Vertex v, Level l) const {
+  if (v >= verts_.size()) return 0;
+  const VertexState& vs = verts_[v];
+  uint64_t total = vs.owned.size();
+  for (const auto& ls : vs.a_sets) {
+    if (ls.level < l) total += ls.set.size();
+  }
+  return total;
+}
+
+std::vector<EdgeId> DynamicMatcher::collect_o_tilde(Vertex v, Level l) const {
+  std::vector<EdgeId> out;
+  const VertexState& vs = verts_[v];
+  out.insert(out.end(), vs.owned.items().begin(), vs.owned.items().end());
+  for (const auto& ls : vs.a_sets) {
+    if (ls.level < l)
+      out.insert(out.end(), ls.set.items().begin(), ls.set.items().end());
+  }
+  return out;
+}
+
+void DynamicMatcher::grow_vertices(Vertex bound) {
+  if (bound > verts_.size()) verts_.resize(bound);
+}
+
+void DynamicMatcher::grow_edges(size_t bound) {
+  if (bound <= elevel_.size()) return;
+  elevel_.resize(bound, 0);
+  eowner_.resize(bound, kNoVertex);
+  eflags_.resize(bound, 0);
+  eresp_.resize(bound, kNoEdge);
+  edge_d_.resize(bound);
+  epoch_d_deleted_.resize(bound, 0);
+}
+
+// ---------------------------------------------------------------------------
+// S_l maintenance
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::refresh_s_membership(Vertex v) {
+  const VertexState& vs = verts_[v];
+  const Level top = scheme_.top_level();
+  uint64_t counts[kMaxLevels] = {0};
+  for (const auto& ls : vs.a_sets)
+    counts[static_cast<size_t>(ls.level)] = ls.set.size();
+  uint64_t o_til = vs.owned.size();  // running value of o~(v, l)
+  for (Level l = 0; l <= top; ++l) {
+    const bool member = vs.level < l && o_til >= scheme_.rise_threshold(l);
+    if (member) {
+      s_[static_cast<size_t>(l)].insert(v);
+    } else {
+      s_[static_cast<size_t>(l)].erase(v);
+    }
+    o_til += counts[static_cast<size_t>(l)];
+  }
+}
+
+void DynamicMatcher::refresh_s_membership_all(
+    const std::vector<Vertex>& touched) {
+  // Serial application over shared S_l sets; O(L) per vertex. Counted as
+  // one parallel round of |touched|*L work (a grouped EREW application
+  // would realize exactly that; see DESIGN.md).
+  for (Vertex v : touched) refresh_s_membership(v);
+  cost_.round(touched.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Structural primitives
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::insert_edge_into_structures(EdgeId e) {
+  const auto eps = reg_.endpoints(e);
+  Vertex owner = eps[0];
+  Level maxl = verts_[eps[0]].level;
+  for (size_t i = 1; i < eps.size(); ++i) {
+    if (verts_[eps[i]].level > maxl) {
+      maxl = verts_[eps[i]].level;
+      owner = eps[i];
+    }
+  }
+  PDMM_ASSERT_MSG(maxl >= 0,
+                  "an edge with all endpoints unmatched cannot be placed");
+  elevel_[e] = maxl;
+  eowner_[e] = owner;
+  verts_[owner].owned.insert(e);
+  for (Vertex u : eps) {
+    if (u != owner) verts_[u].ensure_a(maxl).insert(e);
+  }
+  for (Vertex u : eps) refresh_s_membership(u);
+  cost_.add_work(eps.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+}
+
+void DynamicMatcher::remove_edge_from_structures(EdgeId e) {
+  const auto eps = reg_.endpoints(e);
+  const Vertex owner = eowner_[e];
+  const Level l = elevel_[e];
+  verts_[owner].owned.erase(e);
+  for (Vertex u : eps) {
+    if (u != owner) verts_[u].erase_a(l, e);
+  }
+  for (Vertex u : eps) refresh_s_membership(u);
+  cost_.add_work(eps.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+}
+
+void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
+  if (moves.empty()) return;
+  std::sort(moves.begin(), moves.end(),
+            [](const LevelMove& a, const LevelMove& b) { return a.v < b.v; });
+  for (size_t i = 1; i < moves.size(); ++i)
+    PDMM_ASSERT_MSG(moves[i].v != moves[i - 1].v,
+                    "duplicate vertex in level-move batch");
+
+  // Collect affected edges before levels change: every owned edge of a
+  // mover, plus (for risers) every edge in A(v, l') with l' < target —
+  // those get captured by the riser (batch set-level, Claim 3.4).
+  std::vector<EdgeId> affected;
+  for (const LevelMove& mv : moves) {
+    VertexState& vs = verts_[mv.v];
+    affected.insert(affected.end(), vs.owned.items().begin(),
+                    vs.owned.items().end());
+    if (mv.to > vs.level) {
+      for (const auto& ls : vs.a_sets) {
+        if (ls.level < mv.to)
+          affected.insert(affected.end(), ls.set.items().begin(),
+                          ls.set.items().end());
+      }
+    }
+  }
+  cost_.round(affected.size() + moves.size());
+
+  for (const LevelMove& mv : moves) verts_[mv.v].level = mv.to;
+
+  parallel_sort(pool_, affected);
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  // Recompute level + owner of each affected edge from the new vertex
+  // levels (parallel; per-edge state is disjoint).
+  struct Mut {
+    Vertex u = kNoVertex;
+    EdgeId e = kNoEdge;
+    Level old_lvl = 0, new_lvl = 0;
+    uint8_t was_owner = 0, now_owner = 0;
+  };
+  const uint32_t r = reg_.max_rank();
+  std::vector<Mut> muts(affected.size() * r);
+  parallel_for(pool_, affected.size(), [&](size_t i) {
+    const EdgeId e = affected[i];
+    const auto eps = reg_.endpoints(e);
+    const Vertex old_owner = eowner_[e];
+    const Level old_lvl = elevel_[e];
+
+    Level maxl = kUnmatchedLevel;
+    for (Vertex u : eps) maxl = std::max(maxl, verts_[u].level);
+    PDMM_ASSERT_MSG(maxl >= 0, "affected edge stranded at level -1");
+    Vertex new_owner;
+    if (verts_[old_owner].level == maxl) {
+      new_owner = old_owner;  // keep the owner while it stays maximal
+    } else {
+      new_owner = kNoVertex;
+      for (Vertex u : eps) {
+        if (verts_[u].level == maxl) {
+          new_owner = u;  // endpoints sorted: smallest-id maximal endpoint
+          break;
+        }
+      }
+    }
+    if (eflags_[e] & kMatched) {
+      for ([[maybe_unused]] Vertex u : eps)
+        PDMM_DASSERT(verts_[u].level == maxl);
+    }
+    elevel_[e] = maxl;
+    eowner_[e] = new_owner;
+    for (size_t j = 0; j < eps.size(); ++j) {
+      Mut& m = muts[i * r + j];
+      m.u = eps[j];
+      m.e = e;
+      m.old_lvl = old_lvl;
+      m.new_lvl = maxl;
+      m.was_owner = (eps[j] == old_owner);
+      m.now_owner = (eps[j] == new_owner);
+    }
+  });
+  cost_.round(affected.size() * r);
+
+  // Apply the container moves grouped per vertex; groups are disjoint so
+  // per-vertex containers need no locks.
+  std::vector<Mut> live = pack_values(pool_, muts, [&](size_t i) {
+    const Mut& m = muts[i];
+    if (m.u == kNoVertex) return false;
+    const bool same_container =
+        (m.was_owner && m.now_owner) ||
+        (!m.was_owner && !m.now_owner && m.old_lvl == m.new_lvl);
+    return !same_container;
+  });
+  apply_grouped(
+      pool_, live, [](const Mut& m) { return static_cast<uint64_t>(m.u); },
+      [&](uint64_t key, const Mut* b, const Mut* e) {
+        VertexState& vs = verts_[static_cast<Vertex>(key)];
+        for (const Mut* m = b; m != e; ++m) {
+          if (m->was_owner) {
+            vs.owned.erase(m->e);
+          } else {
+            vs.erase_a(m->old_lvl, m->e);
+          }
+          if (m->now_owner) {
+            vs.owned.insert(m->e);
+          } else {
+            vs.ensure_a(m->new_lvl).insert(m->e);
+          }
+        }
+      },
+      &cost_);
+
+  // Refresh S_l membership of every touched vertex.
+  std::vector<Vertex> touched;
+  touched.reserve(moves.size() + affected.size() * r);
+  for (const LevelMove& mv : moves) touched.push_back(mv.v);
+  for (const EdgeId e : affected) {
+    const auto eps = reg_.endpoints(e);
+    touched.insert(touched.end(), eps.begin(), eps.end());
+  }
+  parallel_sort(pool_, touched);
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  refresh_s_membership_all(touched);
+}
+
+// ---------------------------------------------------------------------------
+// Matching bookkeeping
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::set_matched(EdgeId e, Level l) {
+  PDMM_DASSERT(!(eflags_[e] & kMatched));
+  eflags_[e] |= kMatched;
+  ++matching_size_;
+  for (Vertex u : reg_.endpoints(e)) {
+    VertexState& vs = verts_[u];
+    PDMM_DASSERT(vs.matched == kNoEdge);
+    vs.matched = e;
+    if (vs.level >= 0) undecided_[static_cast<size_t>(vs.level)].erase(u);
+  }
+  if (cfg_.collect_epoch_stats) {
+    epochs_.created[static_cast<size_t>(l)]++;
+  }
+  epoch_d_deleted_[e] = 0;
+  batch_journal_.emplace_back(e, int8_t{+1});
+}
+
+void DynamicMatcher::set_unmatched(EdgeId e, bool natural) {
+  PDMM_DASSERT(eflags_[e] & kMatched);
+  const Level l = elevel_[e];
+  eflags_[e] &= static_cast<uint8_t>(~kMatched);
+  --matching_size_;
+  for (Vertex u : reg_.endpoints(e)) {
+    VertexState& vs = verts_[u];
+    if (vs.matched != e) continue;
+    vs.matched = kNoEdge;
+    PDMM_DASSERT(vs.level >= 0);
+    undecided_[static_cast<size_t>(vs.level)].insert(u);
+  }
+  if (cfg_.collect_epoch_stats) {
+    auto& ended = natural ? epochs_.ended_natural : epochs_.ended_induced;
+    ended[static_cast<size_t>(l)]++;
+    epochs_.d_budget_consumed[static_cast<size_t>(l)] += epoch_d_deleted_[e];
+  }
+  epoch_d_deleted_[e] = 0;
+  batch_journal_.emplace_back(e, int8_t{-1});
+}
+
+void DynamicMatcher::dissolve_d(EdgeId e) {
+  IndexedSet* d = edge_d_[e].get();
+  if (!d || d->empty()) return;
+  for (EdgeId f : d->items()) {
+    PDMM_DASSERT(eflags_[f] & kTempDeleted);
+    eflags_[f] &= static_cast<uint8_t>(~kTempDeleted);
+    eresp_[f] = kNoEdge;
+    reinsert_queue_.push_back(f);
+    ++stats_.reinserted;
+  }
+  cost_.round(d->size());
+  d->clear();
+}
+
+void DynamicMatcher::temp_delete(EdgeId f, EdgeId responsible) {
+  PDMM_DASSERT(!(eflags_[f] & (kMatched | kTempDeleted)));
+  remove_edge_from_structures(f);
+  eflags_[f] |= kTempDeleted;
+  eresp_[f] = responsible;
+  if (!edge_d_[responsible]) edge_d_[responsible] = std::make_unique<IndexedSet>();
+  edge_d_[responsible]->insert(f);
+  ++stats_.temp_deleted;
+  if (cfg_.collect_epoch_stats) {
+    epochs_.d_size_at_creation[static_cast<size_t>(elevel_[responsible])]++;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion phases (§3.3.1 and the entry of §3.3.2)
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::phase_delete_unmatched(const std::vector<EdgeId>& edges) {
+  if (edges.empty()) return;
+  for (EdgeId e : edges) {
+    remove_edge_from_structures(e);
+  }
+  cost_.round(edges.size() * reg_.max_rank());
+}
+
+void DynamicMatcher::phase_delete_temp(const std::vector<EdgeId>& edges) {
+  if (edges.empty()) return;
+  for (EdgeId e : edges) {
+    const EdgeId resp = eresp_[e];
+    PDMM_DASSERT(resp != kNoEdge && (eflags_[resp] & kMatched));
+    edge_d_[resp]->erase(e);
+    ++epoch_d_deleted_[resp];  // amortization budget of resp's epoch
+    eflags_[e] &= static_cast<uint8_t>(~kTempDeleted);
+    eresp_[e] = kNoEdge;
+  }
+  cost_.round(edges.size());
+}
+
+void DynamicMatcher::phase_delete_matched(const std::vector<EdgeId>& edges) {
+  if (edges.empty()) return;
+  for (EdgeId e : edges) {
+    set_unmatched(e, /*natural=*/true);
+    remove_edge_from_structures(e);
+    dissolve_d(e);
+  }
+  cost_.round(edges.size() * reg_.max_rank());
+}
+
+// ---------------------------------------------------------------------------
+// The level sweep (§3.3.2)
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::level_sweep(bool with_step1) {
+  for (Level l = scheme_.top_level(); l >= 0; --l) {
+    if (with_step1) process_level_step1(l);
+    grand_random_settle(l);
+  }
+}
+
+void DynamicMatcher::process_level_step1(Level l) {
+  IndexedSet& u_set = undecided_[static_cast<size_t>(l)];
+  if (u_set.empty()) return;
+  const std::vector<Vertex> u_nodes(u_set.items().begin(),
+                                    u_set.items().end());
+
+  // U_free: edges owned by an undecided node of this level whose endpoints
+  // are all unmatched. Ownership makes the union duplicate-free.
+  std::vector<EdgeId> candidates;
+  for (Vertex v : u_nodes) {
+    PDMM_DASSERT(verts_[v].matched == kNoEdge && verts_[v].level == l);
+    const auto items = verts_[v].owned.items();
+    candidates.insert(candidates.end(), items.begin(), items.end());
+  }
+  cost_.round(candidates.size() + u_nodes.size());
+
+  std::vector<EdgeId> u_free = pack_values(pool_, candidates, [&](size_t i) {
+    for (Vertex u : reg_.endpoints(candidates[i])) {
+      if (verts_[u].matched != kNoEdge) return false;
+    }
+    return true;
+  });
+  cost_.round(candidates.size() * reg_.max_rank());
+
+  std::vector<LevelMove> moves;
+  if (!u_free.empty()) {
+    StaticMMResult mm = static_maximal_matching(
+        pool_, reg_, u_free,
+        hash_mix(cfg_.seed, batch_counter_,
+                 0xA11CE000ull + static_cast<uint64_t>(l)),
+        &cost_);
+    stats_.static_mm_rounds += mm.rounds;
+    for (EdgeId e : mm.matched) {
+      set_matched(e, 0);  // Step-1 matches land on level 0
+      for (Vertex u : reg_.endpoints(e)) moves.push_back({u, 0});
+    }
+  }
+  // Undecided nodes that stayed unmatched drop to level -1.
+  for (Vertex v : u_nodes) {
+    if (verts_[v].matched == kNoEdge) {
+      moves.push_back({v, kUnmatchedLevel});
+      u_set.erase(v);
+    }
+  }
+  apply_level_moves(std::move(moves));
+  PDMM_ASSERT(u_set.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Insertion phase (§3.3.3)
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::phase_insert(const std::vector<EdgeId>& ids) {
+  if (ids.empty()) return;
+  grow_edges(reg_.id_bound());
+
+  // S_free: inserted edges whose endpoints are all currently unmatched.
+  std::vector<EdgeId> s_free = pack_values(pool_, ids, [&](size_t i) {
+    for (Vertex u : reg_.endpoints(ids[i])) {
+      if (verts_[u].matched != kNoEdge) return false;
+    }
+    return true;
+  });
+  cost_.round(ids.size() * reg_.max_rank());
+
+  std::vector<LevelMove> moves;
+  if (!s_free.empty()) {
+    StaticMMResult mm = static_maximal_matching(
+        pool_, reg_, s_free, hash_mix(cfg_.seed, batch_counter_, 0x1A5E47ull),
+        &cost_);
+    stats_.static_mm_rounds += mm.rounds;
+    for (EdgeId e : mm.matched) {
+      set_matched(e, 0);
+      for (Vertex u : reg_.endpoints(e)) moves.push_back({u, 0});
+    }
+  }
+  apply_level_moves(std::move(moves));
+
+  for (EdgeId e : ids) insert_edge_into_structures(e);
+  cost_.round(ids.size() * reg_.max_rank());
+}
+
+size_t DynamicMatcher::total_undecided() const {
+  size_t n = 0;
+  for (const auto& u : undecided_) n += u.size();
+  return n;
+}
+
+void DynamicMatcher::drain_eager() {
+  for (uint32_t it = 0; it < cfg_.max_eager_sweeps; ++it) {
+    ++stats_.eager_sweeps;
+    level_sweep(/*with_step1=*/true);
+    if (reinsert_queue_.empty() && total_undecided() == 0) {
+      // Clean only when no rising set survived either; kicks during the
+      // sweep can have re-populated them via reinsertion below.
+      bool any_rising = false;
+      for (const auto& s : s_) any_rising |= !s.empty();
+      if (!any_rising) return;
+    }
+    std::vector<EdgeId> q;
+    q.swap(reinsert_queue_);
+    phase_insert(q);
+  }
+  // Cap hit: Invariant 3.5(2) is handed to the next batch (as lazy mode
+  // always does), but undecided nodes and kicked edges must not leak across
+  // the batch boundary. Step-1 sweeps and insertions create neither, so one
+  // extra pass resolves the residue without settling.
+  ++stats_.eager_cap_hits;
+  while (!reinsert_queue_.empty() || total_undecided() != 0) {
+    std::vector<EdgeId> q;
+    q.swap(reinsert_queue_);
+    phase_insert(q);
+    for (Level l = scheme_.top_level(); l >= 0; --l) process_level_step1(l);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild (§3.2.1 N-doubling)
+// ---------------------------------------------------------------------------
+
+void DynamicMatcher::reset_state() {
+  // Journal the wholesale unmatching so callers' diffs stay correct, and
+  // close the epochs of all matched edges.
+  for (EdgeId e = 0; e < eflags_.size(); ++e) {
+    if (eflags_[e] & kMatched) {
+      if (cfg_.collect_epoch_stats) {
+        epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
+        epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
+            epoch_d_deleted_[e];
+      }
+      batch_journal_.emplace_back(e, int8_t{-1});
+    }
+  }
+  verts_.clear();
+  elevel_.clear();
+  eowner_.clear();
+  eflags_.clear();
+  eresp_.clear();
+  edge_d_.clear();
+  epoch_d_deleted_.clear();
+  s_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  undecided_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  reinsert_queue_.clear();
+  matching_size_ = 0;
+}
+
+void DynamicMatcher::rebuild() {
+  PDMM_ASSERT(static_cast<size_t>(scheme_.top_level()) + 1 < kMaxLevels);
+  reset_state();
+  grow_vertices(reg_.vertex_bound());
+  grow_edges(reg_.id_bound());
+  ++stats_.rebuilds;
+
+  const std::vector<EdgeId> all = reg_.all_edges();
+  cost_.round(all.size());
+  // From scratch everything is free: one static MM seeds the matching (all
+  // matched edges at level 0), then every edge enters the structures.
+  std::vector<LevelMove> moves;
+  if (!all.empty()) {
+    StaticMMResult mm = static_maximal_matching(
+        pool_, reg_, all, hash_mix(cfg_.seed, batch_counter_, 0x4eb01dull),
+        &cost_);
+    stats_.static_mm_rounds += mm.rounds;
+    for (EdgeId e : mm.matched) {
+      set_matched(e, 0);
+      for (Vertex u : reg_.endpoints(e)) moves.push_back({u, 0});
+    }
+  }
+  apply_level_moves(std::move(moves));
+  for (EdgeId e : all) insert_edge_into_structures(e);
+  cost_.round(all.size() * reg_.max_rank());
+}
+
+void DynamicMatcher::maybe_rebuild(size_t incoming_updates) {
+  if (!cfg_.auto_rebuild) return;
+  if (updates_used_ + incoming_updates <= scheme_.n_bound()) return;
+  const uint64_t new_n = 2 * std::max<uint64_t>(
+      scheme_.n_bound(),
+      updates_used_ + incoming_updates + reg_.vertex_bound());
+  scheme_ = LevelScheme(cfg_.max_rank, new_n);
+  updates_used_ = 0;
+  rebuild();
+}
+
+// ---------------------------------------------------------------------------
+// Batch update entry point (§3.3)
+// ---------------------------------------------------------------------------
+
+DynamicMatcher::BatchResult DynamicMatcher::update_by_endpoints(
+    std::span<const std::vector<Vertex>> deletions,
+    std::span<const std::vector<Vertex>> insertions) {
+  std::vector<EdgeId> dels;
+  dels.reserve(deletions.size());
+  for (const auto& eps : deletions) {
+    const EdgeId e = reg_.find(eps);
+    PDMM_ASSERT_MSG(e != kNoEdge, "deletion of an absent edge (by endpoints)");
+    dels.push_back(e);
+  }
+  std::sort(dels.begin(), dels.end());
+  return update(dels, insertions);
+}
+
+DynamicMatcher::BatchResult DynamicMatcher::update(
+    std::span<const EdgeId> deletions,
+    std::span<const std::vector<Vertex>> insertions) {
+  BatchResult res;
+  const CostCounters cost_before = cost_;
+  const uint64_t rebuilds_before = stats_.rebuilds;
+  batch_journal_.clear();
+
+  maybe_rebuild(deletions.size() + insertions.size());
+
+  ++batch_counter_;
+  ++stats_.batches;
+  reinsert_queue_.clear();
+
+  // --- classify deletions ---
+  std::vector<EdgeId> dels(deletions.begin(), deletions.end());
+  std::sort(dels.begin(), dels.end());
+  dels.erase(std::unique(dels.begin(), dels.end()), dels.end());
+  std::vector<EdgeId> del_unmatched, del_temp, del_matched;
+  for (EdgeId e : dels) {
+    PDMM_ASSERT_MSG(reg_.alive(e), "deletion of an absent edge");
+    if (eflags_[e] & kMatched) {
+      del_matched.push_back(e);
+    } else if (eflags_[e] & kTempDeleted) {
+      del_temp.push_back(e);
+    } else {
+      del_unmatched.push_back(e);
+    }
+  }
+  updates_used_ += dels.size() + insertions.size();
+  stats_.updates += dels.size() + insertions.size();
+
+  // --- groups 1 & 2: deletions, then the level sweep ---
+  phase_delete_temp(del_temp);
+  phase_delete_unmatched(del_unmatched);
+  phase_delete_matched(del_matched);
+  // Retire all deleted ids in sorted order (the classification above
+  // removed them from every structure already). A single sorted erase pass
+  // keeps free-list id assignment identical across all matcher
+  // implementations driven by the same stream.
+  for (EdgeId e : dels) {
+    reg_.erase(e);
+    batch_journal_.emplace_back(e, int8_t{0});
+  }
+  level_sweep(/*with_step1=*/true);
+
+  // --- group 3: insertions (user + kicked edges + dissolved D sets) ---
+  res.inserted_ids.resize(insertions.size(), kNoEdge);
+  std::vector<EdgeId> new_ids;
+  for (size_t i = 0; i < insertions.size(); ++i) {
+    const EdgeId id = reg_.insert(insertions[i]);
+    res.inserted_ids[i] = id;
+    if (id != kNoEdge) new_ids.push_back(id);
+  }
+  grow_vertices(reg_.vertex_bound());
+  grow_edges(reg_.id_bound());
+  cost_.round(insertions.size() * reg_.max_rank());
+
+  new_ids.insert(new_ids.end(), reinsert_queue_.begin(),
+                 reinsert_queue_.end());
+  reinsert_queue_.clear();
+  phase_insert(new_ids);
+
+  // --- optional eager settle sweeps: Invariant 3.5(2) after every batch ---
+  if (cfg_.settle_after_insertions) drain_eager();
+
+  // --- replay the journal into a post-state-wins diff ---
+  // Per edge-id identity tracking: a "retire" event (0) closes the current
+  // identity (reporting its loss of matched status if it started matched),
+  // and any later events under the same id belong to a fresh identity.
+  {
+    struct Track {
+      bool seen = false;
+      bool initial = false;  // matched at identity start
+      bool cur = false;
+    };
+    FlatPosMap<uint32_t> index;
+    std::vector<Track> tracks;
+    std::vector<EdgeId> track_ids;
+    for (const auto& [e, ev] : batch_journal_) {
+      uint32_t* slot = index.find(e);
+      if (!slot) {
+        index.insert(e, static_cast<uint32_t>(tracks.size()));
+        slot = index.find(e);
+        tracks.push_back({});
+        track_ids.push_back(e);
+      }
+      Track& t = tracks[*slot];
+      if (ev == 0) {
+        // Retirement: matched edges are always unmatched before deletion.
+        PDMM_DASSERT(!t.seen || !t.cur);
+        if (t.seen && t.initial) res.newly_unmatched.push_back(e);
+        t = Track{};  // fresh identity for a possibly recycled id
+      } else {
+        const bool now = ev > 0;
+        if (!t.seen) {
+          t.seen = true;
+          t.initial = !now;
+          t.cur = !now;
+        }
+        PDMM_DASSERT(t.cur != now);
+        t.cur = now;
+      }
+    }
+    for (size_t i = 0; i < tracks.size(); ++i) {
+      const Track& t = tracks[i];
+      if (!t.seen) continue;
+      if (!t.initial && t.cur) res.newly_matched.push_back(track_ids[i]);
+      if (t.initial && !t.cur) res.newly_unmatched.push_back(track_ids[i]);
+    }
+  }
+
+  res.rebuilt = stats_.rebuilds > rebuilds_before;
+  res.work = cost_.work - cost_before.work;
+  res.rounds = cost_.rounds - cost_before.rounds;
+
+  if (cfg_.check_invariants) MatchingChecker::check(*this);
+  return res;
+}
+
+}  // namespace pdmm

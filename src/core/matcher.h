@@ -1,0 +1,273 @@
+// DynamicMatcher: the paper's parallel dynamic maximal matching algorithm
+// (Ghaffari & Trygub, SPAA 2024), §3.
+//
+// The matcher maintains a maximal matching M of a rank-r hypergraph under
+// arbitrary batches of edge insertions and deletions. One `update()` call
+// processes one batch:
+//
+//   1. unmatched / temporarily-deleted edge deletions   (§3.3.1)
+//   2. matched edge deletions, then a level sweep  L..0 (§3.3.2)
+//      - process-level step 1: static MM over the free edges owned by
+//        undecided nodes of this level; winners drop to level 0,
+//        unmatched undecided nodes drop to level -1
+//      - process-level step 2: grand-random-settle of the rising set
+//        B = S_l  (implemented in settle.cpp)
+//   3. insertions, including reinsertion of kicked matched edges and of
+//      dissolved temporarily-deleted sets D(e)           (§3.3.3)
+//   4. optionally an extra settle sweep so Invariant 3.5(2) holds after
+//      every batch (Config::settle_after_insertions)
+//
+// Leveling invariants maintained (checked exhaustively by MatchingChecker):
+//   - matched e: all endpoints at level l(e); unmatched e: l(e) = max
+//     endpoint level = owner level; owner is a max-level endpoint
+//   - l(v) = -1 iff v unmatched (undecided nodes transiently violate this
+//     *inside* a batch; never between batches)
+//   - temp-deleted edges appear in exactly one D(e), e matched, and in no
+//     other structure
+//   - S_l = {v : l(v) < l and o~(v,l) >= alpha^l}
+//
+// Randomness: all random choices derive from (Config::seed, batch counter,
+// phase counters, edge id) via stateless hashing, so a run is deterministic
+// for a fixed seed regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/epoch_stats.h"
+#include "core/level_scheme.h"
+#include "graph/registry.h"
+#include "graph/types.h"
+#include "parallel/cost_model.h"
+#include "parallel/thread_pool.h"
+#include "util/indexed_set.h"
+#include "util/rng.h"
+
+namespace pdmm {
+
+class MatchingChecker;
+
+class DynamicMatcher {
+ public:
+  DynamicMatcher(const Config& cfg, ThreadPool& pool);
+  ~DynamicMatcher();
+
+  DynamicMatcher(const DynamicMatcher&) = delete;
+  DynamicMatcher& operator=(const DynamicMatcher&) = delete;
+
+  struct BatchResult {
+    // One entry per insertion, aligned: the new EdgeId, or kNoEdge when the
+    // insertion was rejected (duplicate of a present edge or of an earlier
+    // insertion in the same batch).
+    std::vector<EdgeId> inserted_ids;
+    // Edges that entered / left M during this batch (post-state wins: an
+    // edge that entered and left within the batch appears in neither).
+    std::vector<EdgeId> newly_matched;
+    std::vector<EdgeId> newly_unmatched;
+    uint64_t work = 0;    // element operations spent on this batch
+    uint64_t rounds = 0;  // parallel rounds spent on this batch (depth proxy)
+    bool rebuilt = false;
+  };
+
+  // Processes one batch. Deletions are EdgeIds of present edges (duplicates
+  // within the batch are ignored); insertions are endpoint lists of
+  // 1..max_rank distinct vertices. Deletions apply before insertions (§3.3).
+  BatchResult update(std::span<const EdgeId> deletions,
+                     std::span<const std::vector<Vertex>> insertions);
+
+  // Convenience wrappers.
+  BatchResult insert_batch(std::span<const std::vector<Vertex>> insertions) {
+    return update({}, insertions);
+  }
+  BatchResult delete_batch(std::span<const EdgeId> deletions) {
+    return update(deletions, {});
+  }
+  // Deletions given as endpoint sets instead of ids (resolved in canonical
+  // sorted-unique id order, so id assignment stays deterministic across
+  // matcher implementations fed the same stream). Every deletion must name
+  // a present edge.
+  BatchResult update_by_endpoints(
+      std::span<const std::vector<Vertex>> deletions,
+      std::span<const std::vector<Vertex>> insertions);
+
+  // ---- inspection ----
+  const HyperedgeRegistry& graph() const { return reg_; }
+  EdgeId find_edge(std::span<const Vertex> endpoints) const {
+    return reg_.find(endpoints);
+  }
+  bool is_matched(EdgeId e) const {
+    return e < eflags_.size() && (eflags_[e] & kMatched);
+  }
+  bool is_temp_deleted(EdgeId e) const {
+    return e < eflags_.size() && (eflags_[e] & kTempDeleted);
+  }
+  size_t matching_size() const { return matching_size_; }
+  std::vector<EdgeId> matching() const;
+  // The endpoints of all matched hyperedges form a vertex cover of size at
+  // most r times the minimum (paper §2). Sorted ascending.
+  std::vector<Vertex> vertex_cover() const;
+  Level vertex_level(Vertex v) const {
+    return v < verts_.size() ? verts_[v].level : kUnmatchedLevel;
+  }
+  EdgeId matched_edge_of(Vertex v) const {
+    return v < verts_.size() ? verts_[v].matched : kNoEdge;
+  }
+  Level edge_level(EdgeId e) const { return elevel_[e]; }
+  Vertex edge_owner(EdgeId e) const { return eowner_[e]; }
+
+  const LevelScheme& scheme() const { return scheme_; }
+  const MatcherStats& stats() const { return stats_; }
+  const EpochStats& epoch_stats() const { return epochs_; }
+  const CostCounters& cost() const { return cost_; }
+  ThreadPool& pool() { return pool_; }
+
+  // o~(v, l): edges v would own after rising to level l (§3.2.3).
+  uint64_t o_tilde(Vertex v, Level l) const;
+
+  // Forces the N-doubling rebuild now (also triggered automatically).
+  void rebuild();
+
+  // --- snapshot / restore (core/snapshot.cpp) ---
+  // Serializes the complete matcher state (graph, matching, leveling
+  // structures, temporarily-deleted sets, RNG counters) as versioned text.
+  // A matcher constructed with the same Config that load()s the snapshot
+  // continues *bit-identically* to the original instance. Cumulative
+  // statistics (stats(), epoch_stats(), cost()) are not part of the state
+  // and reset on load.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  friend class MatchingChecker;
+
+  // Per-edge flag bits.
+  static constexpr uint8_t kMatched = 1;
+  static constexpr uint8_t kTempDeleted = 2;
+
+  struct LevelSet {
+    Level level;
+    IndexedSet set;
+  };
+
+  struct VertexState {
+    Level level = kUnmatchedLevel;
+    EdgeId matched = kNoEdge;
+    IndexedSet owned;                // O(v)
+    std::vector<LevelSet> a_sets;    // sparse A(v, l), non-empty levels only
+
+    const IndexedSet* find_a(Level l) const {
+      for (const auto& ls : a_sets)
+        if (ls.level == l) return &ls.set;
+      return nullptr;
+    }
+    IndexedSet& ensure_a(Level l) {
+      for (auto& ls : a_sets)
+        if (ls.level == l) return ls.set;
+      a_sets.push_back(LevelSet{l, {}});
+      return a_sets.back().set;
+    }
+    void erase_a(Level l, EdgeId e) {
+      for (size_t i = 0; i < a_sets.size(); ++i) {
+        if (a_sets[i].level != l) continue;
+        a_sets[i].set.erase(e);
+        if (a_sets[i].set.empty()) {
+          if (i + 1 != a_sets.size()) a_sets[i] = std::move(a_sets.back());
+          a_sets.pop_back();
+        }
+        return;
+      }
+      PDMM_ASSERT_MSG(false, "erase_a: level set not found");
+    }
+  };
+
+  struct LevelMove {
+    Vertex v;
+    Level to;
+  };
+
+  // ---- update pipeline phases (matcher.cpp) ----
+  void phase_delete_unmatched(const std::vector<EdgeId>& edges);
+  void phase_delete_temp(const std::vector<EdgeId>& edges);
+  void phase_delete_matched(const std::vector<EdgeId>& edges);
+  void level_sweep(bool with_step1);
+  void process_level_step1(Level l);
+  void phase_insert(const std::vector<EdgeId>& fresh_ids);
+
+  // ---- settle machinery (settle.cpp) ----
+  void grand_random_settle(Level l);
+  // One subsubsettle iteration; returns number of edges lifted.
+  size_t subsubsettle(Level l, uint32_t phase_i, uint64_t iter_salt,
+                      std::vector<Vertex>& b,
+                      std::vector<EdgeId>& e_prime,
+                      FlatPosMap<uint32_t>& h_choice);
+  void refresh_settle_sets(Level l, std::vector<Vertex>& b,
+                           std::vector<EdgeId>& e_prime);
+  void sequential_settle_fallback(Level l, const std::vector<Vertex>& b);
+  void random_settle_single(Vertex v, Level l);
+  // Eager mode: alternate settle sweeps with reinsertion of the edges those
+  // sweeps kicked, until no residue remains (bounded by max_eager_sweeps).
+  void drain_eager();
+  size_t total_undecided() const;
+
+  // ---- structural primitives ----
+  // Moves each (v, to) to its new level, then restores edge ownership and
+  // level invariants for every affected edge (batch set-level, Claim 3.4).
+  void apply_level_moves(std::vector<LevelMove> moves);
+  void insert_edge_into_structures(EdgeId e);
+  void remove_edge_from_structures(EdgeId e);
+  std::vector<EdgeId> collect_o_tilde(Vertex v, Level l) const;
+
+  // ---- matching bookkeeping ----
+  void set_matched(EdgeId e, Level l);      // epoch create
+  void set_unmatched(EdgeId e, bool natural);  // epoch end; marks undecided
+  void dissolve_d(EdgeId e);                // queue D(e) for reinsertion
+  void temp_delete(EdgeId e, EdgeId responsible);
+
+  // ---- misc ----
+  void refresh_s_membership(Vertex v);
+  void refresh_s_membership_all(const std::vector<Vertex>& touched);
+  void grow_vertices(Vertex bound);
+  void grow_edges(size_t bound);
+  void maybe_rebuild(size_t incoming_updates);
+  void reset_state();
+  uint64_t settle_rng_stream() const;
+
+  Config cfg_;
+  ThreadPool& pool_;
+  LevelScheme scheme_;
+  IndexedRng rng_;
+  HyperedgeRegistry reg_;
+
+  std::vector<VertexState> verts_;
+  std::vector<Level> elevel_;
+  std::vector<Vertex> eowner_;
+  std::vector<uint8_t> eflags_;
+  std::vector<EdgeId> eresp_;  // temp-deleted -> responsible matched edge
+  std::vector<std::unique_ptr<IndexedSet>> edge_d_;  // D(e) for matched e
+  std::vector<uint32_t> epoch_d_deleted_;  // budget consumed this epoch
+
+  std::vector<IndexedSet> s_;          // S_l, index 0..L
+  std::vector<IndexedSet> undecided_;  // undecided nodes by level, 0..L
+
+  // Batch-scoped scratch.
+  std::vector<EdgeId> reinsert_queue_;  // kicked edges + dissolved D members
+  // Journal of matching transitions this batch: +1 matched, -1 unmatched,
+  // 0 id retired (edge deleted, id recyclable). Replayed at batch end to
+  // produce the newly_matched / newly_unmatched diff with correct handling
+  // of ids recycled within the batch.
+  std::vector<std::pair<EdgeId, int8_t>> batch_journal_;
+  uint64_t batch_counter_ = 0;
+  uint64_t settle_counter_ = 0;
+
+  size_t matching_size_ = 0;
+  uint64_t updates_used_ = 0;
+
+  MatcherStats stats_;
+  EpochStats epochs_;
+  CostCounters cost_;
+};
+
+}  // namespace pdmm

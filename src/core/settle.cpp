@@ -1,0 +1,275 @@
+// grand-random-settle and its sub-procedures (§3.3.2 Step 2), plus the
+// sequential random-settle used both as a whp-cap fallback and by the
+// sequential baseline's analysis experiments.
+#include <algorithm>
+
+#include "core/matcher.h"
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/sort.h"
+
+namespace pdmm {
+
+uint64_t DynamicMatcher::settle_rng_stream() const {
+  return hash_mix(cfg_.seed, batch_counter_, settle_counter_);
+}
+
+// Recomputes B (keep v with l(v) < l and o~(v,l) >= alpha^l / 2) and
+// E' = union of O~(v, l) over B. E' only ever shrinks during a settle
+// (edges get lifted, temp-deleted, kicked, or re-leveled upward), so the
+// h-choices drawn at settle start stay valid.
+void DynamicMatcher::refresh_settle_sets(Level l, std::vector<Vertex>& b,
+                                         std::vector<EdgeId>& e_prime) {
+  const uint64_t keep_threshold = scheme_.rise_threshold(l) / 2;
+  std::vector<Vertex> kept;
+  kept.reserve(b.size());
+  for (Vertex v : b) {
+    if (verts_[v].level < l && o_tilde(v, l) >= keep_threshold)
+      kept.push_back(v);
+  }
+  b.swap(kept);
+  e_prime.clear();
+  for (Vertex v : b) {
+    const std::vector<EdgeId> mine = collect_o_tilde(v, l);
+    e_prime.insert(e_prime.end(), mine.begin(), mine.end());
+  }
+  parallel_sort(pool_, e_prime);
+  e_prime.erase(std::unique(e_prime.begin(), e_prime.end()), e_prime.end());
+  cost_.round(b.size() + e_prime.size());
+}
+
+void DynamicMatcher::grand_random_settle(Level l) {
+  std::vector<Vertex> b(s_[static_cast<size_t>(l)].items().begin(),
+                        s_[static_cast<size_t>(l)].items().end());
+  if (b.empty()) return;
+  ++settle_counter_;
+  ++stats_.settles;
+
+  std::vector<EdgeId> e_prime;
+  {
+    // Initial E' from the full B = S_l (no threshold filtering yet; every
+    // member has o~ >= alpha^l by the S_l definition).
+    for (Vertex v : b) {
+      PDMM_DASSERT(verts_[v].level < l);
+      const std::vector<EdgeId> mine = collect_o_tilde(v, l);
+      e_prime.insert(e_prime.end(), mine.begin(), mine.end());
+    }
+    parallel_sort(pool_, e_prime);
+    e_prime.erase(std::unique(e_prime.begin(), e_prime.end()),
+                  e_prime.end());
+    cost_.round(b.size() + e_prime.size());
+  }
+
+  // h(e): one uniformly random endpoint per edge, drawn once per settle.
+  // When e is lifted into M, every surviving edge whose h points into e is
+  // adopted into D(e) (§3.3.2). Stored as edge -> vertex.
+  FlatPosMap<uint32_t> h_choice;
+  const uint64_t h_stream = hash_mix(settle_rng_stream(), 0xc401ceULL);
+  for (EdgeId e : e_prime) {
+    const auto eps = reg_.endpoints(e);
+    h_choice.insert(e, eps[rng_.below(h_stream, e, eps.size())]);
+  }
+  cost_.round(e_prime.size());
+
+  const uint32_t phases = 2 * log2_ceil(scheme_.alpha());
+  uint32_t repeats = 0;
+  while (!b.empty()) {
+    if (repeats++ >= cfg_.max_settle_repeats) {
+      ++stats_.settle_fallbacks;
+      sequential_settle_fallback(l, b);
+      break;
+    }
+    ++stats_.subsettles;
+    for (uint32_t i = 1; i <= phases && !b.empty(); ++i) {
+      const uint32_t iters = std::max<uint32_t>(
+          1, cfg_.subsettle_iter_factor *
+                 log2_ceil(std::max<size_t>(e_prime.size(), 2)));
+      for (uint32_t it = 0; it < iters && !b.empty(); ++it) {
+        ++stats_.subsubsettles;
+        const uint64_t salt = hash_mix(repeats, i, it);
+        subsubsettle(l, i, salt, b, e_prime, h_choice);
+      }
+    }
+  }
+}
+
+size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
+                                    uint64_t iter_salt,
+                                    std::vector<Vertex>& b,
+                                    std::vector<EdgeId>& e_prime,
+                                    FlatPosMap<uint32_t>& h_choice) {
+  // Step 1: mark each edge of E' with probability p = 2^i / alpha^(l+2).
+  const double p = std::min(
+      1.0, static_cast<double>(uint64_t{1} << std::min(phase_i, 62u)) /
+               static_cast<double>(scheme_.alpha_pow(l + 2)));
+  const uint64_t mark_stream =
+      hash_mix(settle_rng_stream(), iter_salt, 0x3a4bULL);
+  std::vector<EdgeId> marked = pack_values(pool_, e_prime, [&](size_t i) {
+    return rng_.uniform(mark_stream, e_prime[i]) < p;
+  });
+  cost_.round(e_prime.size());
+  if (marked.empty()) return 0;
+
+  // Step 2: lift marked edges with no incident marked edge (within E').
+  FlatPosMap<uint32_t> marked_deg;  // vertex -> #marked edges at vertex
+  for (EdgeId e : marked) {
+    for (Vertex u : reg_.endpoints(e)) {
+      if (uint32_t* c = marked_deg.find(u)) {
+        ++*c;
+      } else {
+        marked_deg.insert(u, 1);
+      }
+    }
+  }
+  std::vector<EdgeId> lifted = pack_values(pool_, marked, [&](size_t i) {
+    for (Vertex u : reg_.endpoints(marked[i])) {
+      if (*marked_deg.find(u) != 1) return false;
+    }
+    return true;
+  });
+  cost_.round(marked.size() * reg_.max_rank());
+  if (lifted.empty()) return 0;
+
+  // Kick the matched edges of endpoints being absorbed into lifted edges.
+  // Lifted edges are pairwise non-incident, so each vertex belongs to at
+  // most one of them.
+  FlatPosMap<uint32_t> lifted_at;  // vertex -> lifted edge covering it
+  std::vector<EdgeId> kicked;
+  FlatPosMap<uint32_t> kicked_set;
+  for (EdgeId e : lifted) {
+    for (Vertex u : reg_.endpoints(e)) {
+      lifted_at.insert(u, e);
+      const EdgeId m = verts_[u].matched;
+      if (m != kNoEdge && m != e && !kicked_set.contains(m)) {
+        kicked_set.insert(m, 1);
+        kicked.push_back(m);
+      }
+    }
+  }
+  for (EdgeId m : kicked) {
+    set_unmatched(m, /*natural=*/false);
+    remove_edge_from_structures(m);
+    dissolve_d(m);
+    reinsert_queue_.push_back(m);
+    ++stats_.edges_kicked;
+  }
+  cost_.round(lifted.size() * reg_.max_rank() + kicked.size());
+
+  // Add lifted edges to M at level l and raise their endpoints.
+  std::vector<LevelMove> moves;
+  for (EdgeId e : lifted) {
+    if (eflags_[e] & kMatched) {
+      // e was already in M (it can sit in E' as the matched edge of a
+      // B-vertex): it merely rises to level l. The level-l accounting
+      // period starts fresh; the physical matching membership continues.
+      if (cfg_.collect_epoch_stats) {
+        epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
+        epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
+            epoch_d_deleted_[e];
+        epochs_.created[static_cast<size_t>(l)]++;
+      }
+      epoch_d_deleted_[e] = 0;
+    } else {
+      set_matched(e, l);
+    }
+    ++stats_.edges_lifted;
+    for (Vertex u : reg_.endpoints(e)) moves.push_back({u, l});
+  }
+  apply_level_moves(std::move(moves));
+
+  // Adopt surviving E' edges whose h-choice landed inside a lifted edge
+  // into that edge's D set (temporarily deleting them).
+  for (EdgeId eprime_edge : e_prime) {
+    if (eflags_[eprime_edge] & kMatched) continue;  // lifted or still in M
+    if (kicked_set.contains(eprime_edge)) continue;  // already out + queued
+    PDMM_DASSERT(!(eflags_[eprime_edge] & kTempDeleted));
+    const uint32_t* hv = h_choice.find(eprime_edge);
+    PDMM_DASSERT(hv != nullptr);
+    const uint32_t* owner_edge = lifted_at.find(*hv);
+    if (!owner_edge) continue;
+    temp_delete(eprime_edge, *owner_edge);
+  }
+  cost_.round(e_prime.size());
+
+  refresh_settle_sets(l, b, e_prime);
+  return lifted.size();
+}
+
+void DynamicMatcher::sequential_settle_fallback(
+    Level l, const std::vector<Vertex>& b) {
+  // Deterministic safety net for the (never observed, probability
+  // poly(1/N)) event that the whp repeat budget runs out: settle the
+  // residue one vertex at a time, exactly like the sequential Step 2 of
+  // §3.3.2. Correct, merely not polylog-depth.
+  const uint64_t keep_threshold = scheme_.rise_threshold(l) / 2;
+  for (Vertex v : b) {
+    if (verts_[v].level < l && o_tilde(v, l) >= keep_threshold) {
+      random_settle_single(v, l);
+    }
+  }
+}
+
+void DynamicMatcher::random_settle_single(Vertex v, Level l) {
+  // random-settle(v, l) of §3.3.2 (sequential setting): raise v to l so it
+  // owns O~(v, l), sample one owned edge uniformly, match it at level l,
+  // and temporarily delete the rest of O(v) into D(e).
+  //
+  // v rises *before* it gets matched (unlike the parallel lift path, which
+  // matches first); if v is currently undecided its entry sits at the old
+  // level and must be retired here — it is matched a few lines below, since
+  // the sampled edge always contains v.
+  if (verts_[v].matched == kNoEdge && verts_[v].level >= 0) {
+    undecided_[static_cast<size_t>(verts_[v].level)].erase(v);
+  }
+  apply_level_moves({{v, l}});
+  const IndexedSet& owned = verts_[v].owned;
+  PDMM_ASSERT(!owned.empty());
+  ++settle_counter_;
+  const EdgeId e =
+      owned.sample(rng_.raw(settle_rng_stream(), 0x5e771eULL + v));
+
+  std::vector<EdgeId> kicked;
+  for (Vertex u : reg_.endpoints(e)) {
+    const EdgeId m = verts_[u].matched;
+    if (m != kNoEdge && m != e &&
+        std::find(kicked.begin(), kicked.end(), m) == kicked.end()) {
+      kicked.push_back(m);
+    }
+  }
+  for (EdgeId m : kicked) {
+    set_unmatched(m, /*natural=*/false);
+    remove_edge_from_structures(m);
+    dissolve_d(m);
+    reinsert_queue_.push_back(m);
+    ++stats_.edges_kicked;
+  }
+
+  if (eflags_[e] & kMatched) {
+    if (cfg_.collect_epoch_stats) {
+      epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
+      epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
+          epoch_d_deleted_[e];
+      epochs_.created[static_cast<size_t>(l)]++;
+    }
+    epoch_d_deleted_[e] = 0;
+  } else {
+    set_matched(e, l);
+  }
+  ++stats_.edges_lifted;
+
+  std::vector<LevelMove> moves;
+  for (Vertex u : reg_.endpoints(e)) {
+    if (u != v) moves.push_back({u, l});
+  }
+  apply_level_moves(std::move(moves));
+
+  // D(e) <- all other edges v owns.
+  const std::vector<EdgeId> to_delete(owned.items().begin(),
+                                      owned.items().end());
+  for (EdgeId f : to_delete) {
+    if (f != e && !(eflags_[f] & kMatched)) temp_delete(f, e);
+  }
+  cost_.round(to_delete.size());
+}
+
+}  // namespace pdmm

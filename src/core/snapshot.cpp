@@ -1,0 +1,208 @@
+// Snapshot / restore of the full DynamicMatcher state.
+//
+// The format serializes *everything* behaviour-relevant, including the
+// iteration order of every IndexedSet (owned, A(v,l), D(e)) and the
+// registry's free-list order, so that a restored matcher is structurally
+// indistinguishable from the original and continues bit-identically under
+// the same seed and update stream. Cumulative statistics are deliberately
+// excluded (they reset on load).
+//
+// Text format, line-oriented:
+//   pdmm-snapshot v1
+//   cfg <max_rank> <seed> <eager> <iter_factor> <max_repeats> <max_eager>
+//   sch <n_bound> <updates_used> <batch_counter> <settle_counter>
+//   reg <id_bound> <num_alive>
+//   e <id> <k> <v...> <level> <owner> <flags> <resp>
+//   f <free ids in order...>
+//   nv <vertex_bound>
+//   v <id> <level> <matched>            (only non-default vertices)
+//   o <vid> <owned ids in order...>     (only non-empty)
+//   a <vid> <level> <ids in order...>   (only non-empty)
+//   d <eid> <D member ids in order...>  (only non-empty)
+//   bd <eid> <epoch_d_deleted>          (only non-zero)
+//   end
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/matcher.h"
+
+namespace pdmm {
+
+void DynamicMatcher::save(std::ostream& out) const {
+  out << "pdmm-snapshot v1\n";
+  out << "cfg " << cfg_.max_rank << ' ' << cfg_.seed << ' '
+      << cfg_.settle_after_insertions << ' ' << cfg_.subsettle_iter_factor
+      << ' ' << cfg_.max_settle_repeats << ' ' << cfg_.max_eager_sweeps
+      << '\n';
+  out << "sch " << scheme_.n_bound() << ' ' << updates_used_ << ' '
+      << batch_counter_ << ' ' << settle_counter_ << '\n';
+
+  out << "reg " << reg_.id_bound() << ' ' << reg_.num_edges() << '\n';
+  for (EdgeId e = 0; e < reg_.id_bound(); ++e) {
+    if (!reg_.alive(e)) continue;
+    const auto eps = reg_.endpoints(e);
+    out << "e " << e << ' ' << eps.size();
+    for (Vertex v : eps) out << ' ' << v;
+    out << ' ' << elevel_[e] << ' ' << eowner_[e] << ' '
+        << static_cast<int>(eflags_[e]) << ' ' << eresp_[e] << '\n';
+  }
+  out << "f";
+  for (EdgeId e : reg_.free_list()) out << ' ' << e;
+  out << '\n';
+
+  out << "nv " << verts_.size() << '\n';
+  for (Vertex v = 0; v < verts_.size(); ++v) {
+    const VertexState& vs = verts_[v];
+    if (vs.level != kUnmatchedLevel || vs.matched != kNoEdge) {
+      out << "v " << v << ' ' << vs.level << ' ' << vs.matched << '\n';
+    }
+    if (!vs.owned.empty()) {
+      out << "o " << v;
+      for (EdgeId e : vs.owned.items()) out << ' ' << e;
+      out << '\n';
+    }
+    for (const auto& ls : vs.a_sets) {
+      out << "a " << v << ' ' << ls.level;
+      for (EdgeId e : ls.set.items()) out << ' ' << e;
+      out << '\n';
+    }
+  }
+  for (EdgeId e = 0; e < edge_d_.size(); ++e) {
+    if (!edge_d_[e] || edge_d_[e]->empty()) continue;
+    out << "d " << e;
+    for (EdgeId f : edge_d_[e]->items()) out << ' ' << f;
+    out << '\n';
+  }
+  for (EdgeId e = 0; e < epoch_d_deleted_.size(); ++e) {
+    if (epoch_d_deleted_[e] != 0) {
+      out << "bd " << e << ' ' << epoch_d_deleted_[e] << '\n';
+    }
+  }
+  out << "end\n";
+}
+
+void DynamicMatcher::load(std::istream& in) {
+  std::string line;
+  auto next_line = [&](const char* what) {
+    PDMM_ASSERT_MSG(static_cast<bool>(std::getline(in, line)), what);
+    return std::istringstream(line);
+  };
+
+  {
+    auto ls = next_line("snapshot header");
+    std::string magic, version;
+    ls >> magic >> version;
+    PDMM_ASSERT_MSG(magic == "pdmm-snapshot" && version == "v1",
+                    "unrecognized snapshot header");
+  }
+  {
+    auto ls = next_line("cfg line");
+    std::string tag;
+    uint32_t rank;
+    uint64_t seed;
+    ls >> tag >> rank >> seed;
+    PDMM_ASSERT_MSG(tag == "cfg", "expected cfg line");
+    PDMM_ASSERT_MSG(rank == cfg_.max_rank,
+                    "snapshot rank differs from this matcher's Config");
+    PDMM_ASSERT_MSG(seed == cfg_.seed,
+                    "snapshot seed differs; continuation would diverge");
+  }
+  {
+    auto ls = next_line("sch line");
+    std::string tag;
+    uint64_t n_bound;
+    ls >> tag >> n_bound >> updates_used_ >> batch_counter_ >>
+        settle_counter_;
+    PDMM_ASSERT_MSG(tag == "sch", "expected sch line");
+    scheme_ = LevelScheme(cfg_.max_rank, n_bound);
+  }
+
+  size_t id_bound = 0, num_alive = 0;
+  {
+    auto ls = next_line("reg line");
+    std::string tag;
+    ls >> tag >> id_bound >> num_alive;
+    PDMM_ASSERT_MSG(tag == "reg", "expected reg line");
+  }
+  reg_.restore_begin(id_bound);
+  reset_state();
+  batch_journal_.clear();
+  elevel_.assign(id_bound, 0);
+  eowner_.assign(id_bound, kNoVertex);
+  eflags_.assign(id_bound, 0);
+  eresp_.assign(id_bound, kNoEdge);
+  edge_d_.clear();
+  edge_d_.resize(id_bound);
+  epoch_d_deleted_.assign(id_bound, 0);
+
+  s_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  undecided_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  matching_size_ = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "end") break;
+    if (tag == "e") {
+      EdgeId id;
+      size_t k;
+      ls >> id >> k;
+      std::vector<Vertex> eps(k);
+      for (auto& v : eps) ls >> v;
+      int flags;
+      ls >> elevel_[id] >> eowner_[id] >> flags >> eresp_[id];
+      eflags_[id] = static_cast<uint8_t>(flags);
+      reg_.restore_slot(id, eps);
+      if (eflags_[id] & kMatched) ++matching_size_;
+    } else if (tag == "f") {
+      std::vector<EdgeId> free_ids;
+      EdgeId e;
+      while (ls >> e) free_ids.push_back(e);
+      reg_.restore_free_list(free_ids);
+    } else if (tag == "nv") {
+      size_t nv;
+      ls >> nv;
+      verts_.resize(nv);
+    } else if (tag == "v") {
+      Vertex v;
+      ls >> v;
+      ls >> verts_[v].level >> verts_[v].matched;
+    } else if (tag == "o") {
+      Vertex v;
+      ls >> v;
+      EdgeId e;
+      while (ls >> e) verts_[v].owned.insert(e);
+    } else if (tag == "a") {
+      Vertex v;
+      Level l;
+      ls >> v >> l;
+      IndexedSet& set = verts_[v].ensure_a(l);
+      EdgeId e;
+      while (ls >> e) set.insert(e);
+    } else if (tag == "d") {
+      EdgeId e;
+      ls >> e;
+      edge_d_[e] = std::make_unique<IndexedSet>();
+      EdgeId f;
+      while (ls >> f) edge_d_[e]->insert(f);
+    } else if (tag == "bd") {
+      EdgeId e;
+      ls >> e >> epoch_d_deleted_[e];
+    } else {
+      PDMM_ASSERT_MSG(false, "unknown snapshot line tag");
+    }
+  }
+
+  grow_vertices(reg_.vertex_bound());
+  // Rebuild the derived S_l sets from the restored structures.
+  for (Vertex v = 0; v < verts_.size(); ++v) {
+    const VertexState& vs = verts_[v];
+    if (!vs.owned.empty() || !vs.a_sets.empty()) refresh_s_membership(v);
+  }
+}
+
+}  // namespace pdmm

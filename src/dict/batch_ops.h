@@ -1,0 +1,49 @@
+// Grouped-mutation application: the EREW discipline used by every phase of
+// the dynamic matcher that mutates per-vertex structures.
+//
+// A parallel phase first *computes* its mutations read-only (one record per
+// (target vertex, payload)), then this helper sorts the records by target
+// and applies each target's group in a single task. Concurrent tasks touch
+// disjoint vertices, so per-vertex containers need no locks, and the sorted
+// order makes the result deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/cost_model.h"
+#include "parallel/parallel_for.h"
+#include "parallel/sort.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+// Sorts `records` by key(record) (a uint64), then calls
+// apply(key, span_begin, span_end) once per distinct key, groups in
+// parallel. Records with equal keys keep their relative order only if the
+// comparator makes them distinct; apply bodies must not depend on intra-
+// group order unless they sort internally.
+template <typename Rec, typename KeyFn, typename ApplyFn>
+void apply_grouped(ThreadPool& pool, std::vector<Rec>& records, KeyFn&& key,
+                   ApplyFn&& apply, CostCounters* cost = nullptr) {
+  if (records.empty()) return;
+  parallel_sort(pool, records, [&](const Rec& a, const Rec& b) {
+    return key(a) < key(b);
+  });
+  std::vector<size_t> starts =
+      group_boundaries(records, [&](const Rec& r) { return key(r); });
+  const size_t groups = starts.size() - 1;
+  parallel_for(
+      pool, groups,
+      [&](size_t g) {
+        apply(key(records[starts[g]]), records.data() + starts[g],
+              records.data() + starts[g + 1]);
+      },
+      /*grain=*/1);
+  if (cost) {
+    cost->round(records.size());  // sort counts as one logical round here;
+    cost->round(groups);          // apply is the second round.
+  }
+}
+
+}  // namespace pdmm

@@ -1,0 +1,145 @@
+#include "graph/registry.h"
+
+#include <algorithm>
+
+namespace pdmm {
+
+HyperedgeRegistry::HyperedgeRegistry(uint32_t max_rank)
+    : max_rank_(max_rank) {
+  PDMM_ASSERT(max_rank >= 1 && max_rank <= kMaxRankLimit);
+}
+
+uint64_t HyperedgeRegistry::key_of(std::span<const Vertex> sorted) const {
+  uint64_t h = hash_mix(0x9d8f31cull, sorted.size());
+  for (Vertex v : sorted) h = hash_mix(h, v);
+  // Avoid the two reserved PhaseDict keys.
+  if (h >= ~uint64_t{1}) h = splitmix64(h);
+  return h;
+}
+
+bool HyperedgeRegistry::endpoints_equal(
+    EdgeId e, std::span<const Vertex> sorted) const {
+  const auto other = endpoints(e);
+  return std::equal(sorted.begin(), sorted.end(), other.begin(), other.end());
+}
+
+EdgeId HyperedgeRegistry::insert(std::span<const Vertex> eps) {
+  PDMM_ASSERT(!eps.empty() && eps.size() <= static_cast<size_t>(max_rank_));
+  Vertex tmp[kMaxRankLimit];
+  std::copy(eps.begin(), eps.end(), tmp);
+  std::sort(tmp, tmp + eps.size());
+  std::span<const Vertex> sorted{tmp, eps.size()};
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    PDMM_ASSERT_MSG(sorted[i] != sorted[i - 1],
+                    "hyperedge endpoints must be distinct");
+  }
+
+  const uint64_t key = key_of(sorted);
+  const EdgeId* headp = index_.find(key);
+  const EdgeId head = headp ? *headp : kNoEdge;
+  for (EdgeId cur = head; cur != kNoEdge; cur = coll_next_[cur]) {
+    if (endpoints_equal(cur, sorted)) return kNoEdge;  // duplicate
+  }
+
+  EdgeId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<EdgeId>(deg_.size());
+    deg_.push_back(0);
+    coll_next_.push_back(kNoEdge);
+    endpoints_.resize(endpoints_.size() + max_rank_, kNoVertex);
+  }
+  std::copy(sorted.begin(), sorted.end(),
+            endpoints_.begin() + static_cast<size_t>(id) * max_rank_);
+  deg_[id] = static_cast<uint8_t>(sorted.size());
+  coll_next_[id] = head;
+  if (headp) index_.erase(key);
+  index_.insert(key, id);
+  ++num_alive_;
+  vertex_bound_ = std::max(vertex_bound_, sorted.back() + 1);
+  return id;
+}
+
+EdgeId HyperedgeRegistry::find(std::span<const Vertex> eps) const {
+  PDMM_ASSERT(!eps.empty() && eps.size() <= static_cast<size_t>(max_rank_));
+  Vertex tmp[kMaxRankLimit];
+  std::copy(eps.begin(), eps.end(), tmp);
+  std::sort(tmp, tmp + eps.size());
+  std::span<const Vertex> sorted{tmp, eps.size()};
+  const EdgeId* headp = index_.find(key_of(sorted));
+  for (EdgeId cur = headp ? *headp : kNoEdge; cur != kNoEdge;
+       cur = coll_next_[cur]) {
+    if (endpoints_equal(cur, sorted)) return cur;
+  }
+  return kNoEdge;
+}
+
+void HyperedgeRegistry::erase(EdgeId e) {
+  PDMM_ASSERT(alive(e));
+  const uint64_t key = key_of(endpoints(e));
+  const EdgeId* headp = index_.find(key);
+  PDMM_ASSERT(headp != nullptr);
+  EdgeId head = *headp;
+  index_.erase(key);
+  if (head == e) {
+    if (coll_next_[e] != kNoEdge) index_.insert(key, coll_next_[e]);
+  } else {
+    // Unlink e from the (almost always length-1) chain.
+    EdgeId prev = head;
+    while (coll_next_[prev] != e) {
+      prev = coll_next_[prev];
+      PDMM_ASSERT(prev != kNoEdge);
+    }
+    coll_next_[prev] = coll_next_[e];
+    index_.insert(key, head);
+  }
+  coll_next_[e] = kNoEdge;
+  deg_[e] = 0;
+  free_ids_.push_back(e);
+  --num_alive_;
+}
+
+void HyperedgeRegistry::restore_begin(size_t id_bound) {
+  endpoints_.assign(id_bound * max_rank_, kNoVertex);
+  deg_.assign(id_bound, 0);
+  coll_next_.assign(id_bound, kNoEdge);
+  free_ids_.clear();
+  num_alive_ = 0;
+  vertex_bound_ = 0;
+  index_.clear();
+}
+
+void HyperedgeRegistry::restore_slot(EdgeId id,
+                                     std::span<const Vertex> sorted) {
+  PDMM_ASSERT(id < deg_.size() && deg_[id] == 0);
+  PDMM_ASSERT(!sorted.empty() &&
+              sorted.size() <= static_cast<size_t>(max_rank_));
+  PDMM_ASSERT(std::is_sorted(sorted.begin(), sorted.end()));
+  std::copy(sorted.begin(), sorted.end(),
+            endpoints_.begin() + static_cast<size_t>(id) * max_rank_);
+  deg_[id] = static_cast<uint8_t>(sorted.size());
+  const uint64_t key = key_of(sorted);
+  const EdgeId* headp = index_.find(key);
+  coll_next_[id] = headp ? *headp : kNoEdge;
+  if (headp) index_.erase(key);
+  index_.insert(key, id);
+  ++num_alive_;
+  vertex_bound_ = std::max(vertex_bound_, sorted.back() + 1);
+}
+
+void HyperedgeRegistry::restore_free_list(std::span<const EdgeId> free_ids) {
+  free_ids_.assign(free_ids.begin(), free_ids.end());
+}
+
+std::vector<EdgeId> HyperedgeRegistry::all_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(num_alive_);
+  for (EdgeId e = 0; e < deg_.size(); ++e) {
+    if (deg_[e] != 0) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace pdmm

@@ -1,0 +1,93 @@
+// HyperedgeRegistry: the hypergraph substrate.
+//
+// Stores rank<=r hyperedges in a flat arena (fixed stride of max_rank
+// vertices per edge, so endpoint access never chases pointers), assigns
+// dense EdgeIds with free-list recycling, and maintains a canonical-form
+// lookup (sorted endpoint set -> EdgeId) so updates given as vertex sets can
+// be resolved to ids and duplicate insertions detected.
+//
+// The canonical index hashes the sorted endpoint vector to 64 bits. Lookups
+// are exact, not probabilistic: edges whose endpoint sets collide on the
+// 64-bit hash (astronomically rare) are kept on an intrusive chain headed by
+// the dictionary entry, and every hit compares actual endpoints.
+//
+// The registry is intentionally policy-free: all matching/leveling state
+// lives in the matcher. Everything the adversary can see — which edges are
+// present — is the registry's content; the matcher's "temporarily deleted"
+// edges remain present here (flagged by the matcher, not the registry).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dict/phase_dict.h"
+#include "graph/types.h"
+#include "parallel/thread_pool.h"
+#include "util/assert.h"
+
+namespace pdmm {
+
+class HyperedgeRegistry {
+ public:
+  explicit HyperedgeRegistry(uint32_t max_rank);
+
+  uint32_t max_rank() const { return max_rank_; }
+  size_t num_edges() const { return num_alive_; }
+  // One past the largest EdgeId ever allocated; per-edge arrays in client
+  // code are sized by this.
+  size_t id_bound() const { return deg_.size(); }
+  Vertex vertex_bound() const { return vertex_bound_; }
+
+  // Inserts the hyperedge with the given endpoints (1..max_rank distinct
+  // vertices, any order). Returns the new EdgeId, or kNoEdge when an edge
+  // with the same endpoint set is already present.
+  EdgeId insert(std::span<const Vertex> endpoints);
+
+  // Looks up an edge by endpoint set. kNoEdge when absent.
+  EdgeId find(std::span<const Vertex> endpoints) const;
+
+  // Removes an edge by id (must be alive). Its id returns to the free list.
+  void erase(EdgeId e);
+
+  bool alive(EdgeId e) const { return e < deg_.size() && deg_[e] != 0; }
+
+  // Sorted (canonical) endpoints of a live edge.
+  std::span<const Vertex> endpoints(EdgeId e) const {
+    PDMM_DASSERT(alive(e));
+    return {endpoints_.data() + static_cast<size_t>(e) * max_rank_, deg_[e]};
+  }
+
+  uint32_t rank(EdgeId e) const {
+    PDMM_DASSERT(alive(e));
+    return deg_[e];
+  }
+
+  std::vector<EdgeId> all_edges() const;
+
+  // --- snapshot support (core/snapshot.cpp) ---
+  // Restores an exact registry image: begin clears and sizes the id space,
+  // each restore_slot registers an edge under its original id, and
+  // restore_free_list reinstates the free-list order so future id
+  // assignment matches the snapshotted instance exactly.
+  void restore_begin(size_t id_bound);
+  void restore_slot(EdgeId id, std::span<const Vertex> sorted_endpoints);
+  void restore_free_list(std::span<const EdgeId> free_ids);
+  std::span<const EdgeId> free_list() const { return free_ids_; }
+
+ private:
+  static constexpr size_t kMaxRankLimit = 200;
+
+  uint64_t key_of(std::span<const Vertex> sorted) const;
+  bool endpoints_equal(EdgeId e, std::span<const Vertex> sorted) const;
+
+  uint32_t max_rank_;
+  std::vector<Vertex> endpoints_;   // stride max_rank_, sorted per edge
+  std::vector<uint8_t> deg_;        // 0 = dead slot
+  std::vector<EdgeId> coll_next_;   // hash-collision chain links
+  std::vector<EdgeId> free_ids_;
+  size_t num_alive_ = 0;
+  Vertex vertex_bound_ = 0;  // max endpoint seen + 1
+  PhaseDict<EdgeId> index_;  // key -> chain head
+};
+
+}  // namespace pdmm

@@ -1,0 +1,19 @@
+// Fundamental identifier types shared by every pdmm module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pdmm {
+
+using Vertex = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+// Vertex levels of the leveling scheme: -1 (unmatched) .. L.
+using Level = int32_t;
+inline constexpr Level kUnmatchedLevel = -1;
+
+}  // namespace pdmm

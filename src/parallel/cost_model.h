@@ -1,0 +1,39 @@
+// Work/depth instrumentation.
+//
+// The theorems of the paper bound two machine-independent quantities:
+//   * work  — total number of element operations, and
+//   * depth — the longest chain of sequentially dependent parallel rounds.
+// We measure both directly instead of inferring them from wall-clock time:
+// each invocation of a parallel primitive on n elements is recorded as one
+// *round* of n work units (a round costs O(log n) PRAM depth at most; the
+// round count is the quantity Theorem 4.4 bounds up to log factors).
+//
+// Counters are owned by the orchestrating thread of an update; parallel
+// workers never touch them, so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+
+namespace pdmm {
+
+struct CostCounters {
+  uint64_t work = 0;    // total element operations
+  uint64_t rounds = 0;  // sequential parallel-primitive steps (depth proxy)
+
+  void round(uint64_t work_units) {
+    ++rounds;
+    work += work_units;
+  }
+
+  void add_work(uint64_t work_units) { work += work_units; }
+
+  void reset() { work = rounds = 0; }
+
+  CostCounters& operator+=(const CostCounters& o) {
+    work += o.work;
+    rounds += o.rounds;
+    return *this;
+  }
+};
+
+}  // namespace pdmm

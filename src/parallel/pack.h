@@ -1,0 +1,55 @@
+// Parallel pack / filter: keep the elements whose flag is set, preserving
+// order, via an exclusive scan of the flags. This is the standard
+// work-efficient O(n) / O(log n)-depth filter of the work/depth model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+// Returns the i in [0, n) for which pred(i) is true, in increasing order.
+template <typename Pred>
+std::vector<uint32_t> pack_indices(ThreadPool& pool, size_t n, Pred&& pred,
+                                   size_t grain = kDefaultGrain) {
+  std::vector<uint32_t> flags(n);
+  parallel_for(
+      pool, n, [&](size_t i) { flags[i] = pred(i) ? 1u : 0u; }, grain);
+  std::vector<uint32_t> offsets;
+  const uint32_t total = scan_exclusive(pool, flags, offsets, grain);
+  std::vector<uint32_t> out(total);
+  parallel_for(
+      pool, n,
+      [&](size_t i) {
+        if (flags[i]) out[offsets[i]] = static_cast<uint32_t>(i);
+      },
+      grain);
+  return out;
+}
+
+// Packs values[i] for which pred(i) holds, preserving order.
+template <typename T, typename Pred>
+std::vector<T> pack_values(ThreadPool& pool, const std::vector<T>& values,
+                           Pred&& pred, size_t grain = kDefaultGrain) {
+  const size_t n = values.size();
+  std::vector<uint32_t> flags(n);
+  parallel_for(
+      pool, n, [&](size_t i) { flags[i] = pred(i) ? 1u : 0u; }, grain);
+  std::vector<uint32_t> offsets;
+  const uint32_t total = scan_exclusive(pool, flags, offsets, grain);
+  std::vector<T> out(total);
+  parallel_for(
+      pool, n,
+      [&](size_t i) {
+        if (flags[i]) out[offsets[i]] = values[i];
+      },
+      grain);
+  return out;
+}
+
+}  // namespace pdmm

@@ -1,0 +1,39 @@
+// parallel_for and friends: the basic data-parallel mapping primitives.
+//
+// All primitives take the pool explicitly; none of them allocate hidden
+// global state. Grain sizes default to a value that amortizes scheduling
+// overhead for the element-cheap loops typical in this library.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+inline constexpr size_t kDefaultGrain = 2048;
+
+// Applies f(i) for every i in [0, n).
+template <typename F>
+void parallel_for(ThreadPool& pool, size_t n, F&& f,
+                  size_t grain = kDefaultGrain) {
+  if (n == 0) return;
+  const std::function<void(size_t, size_t)> body = [&f](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) f(i);
+  };
+  pool.run_blocked(n, grain, body);
+}
+
+// Applies f(begin, end) over chunks of [0, n); useful when the body wants to
+// hoist per-chunk state (e.g. a local buffer) out of the element loop.
+template <typename F>
+void parallel_for_blocked(ThreadPool& pool, size_t n, F&& f,
+                          size_t grain = kDefaultGrain) {
+  if (n == 0) return;
+  const std::function<void(size_t, size_t)> body =
+      [&f](size_t b, size_t e) { f(b, e); };
+  pool.run_blocked(n, grain, body);
+}
+
+}  // namespace pdmm

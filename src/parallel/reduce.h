@@ -1,0 +1,51 @@
+// Parallel reductions (sum, max, logical-or) over index ranges.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+// Reduces f(i) over i in [0, n) with `op` starting from `identity`.
+// Deterministic for commutative+associative ops regardless of schedule
+// (per-chunk partials are combined in block order).
+template <typename T, typename F, typename Op>
+T parallel_reduce(ThreadPool& pool, size_t n, T identity, F&& f, Op&& op,
+                  size_t grain = kDefaultGrain) {
+  if (n == 0) return identity;
+  const size_t num_blocks = (n + grain - 1) / grain;
+  std::vector<T> partials(num_blocks, identity);
+  parallel_for_blocked(
+      pool, n,
+      [&](size_t b, size_t e) {
+        T acc = identity;
+        for (size_t i = b; i < e; ++i) acc = op(acc, f(i));
+        partials[b / grain] = acc;
+      },
+      grain);
+  T acc = identity;
+  for (const T& p : partials) acc = op(acc, p);
+  return acc;
+}
+
+template <typename F>
+uint64_t parallel_sum(ThreadPool& pool, size_t n, F&& f,
+                      size_t grain = kDefaultGrain) {
+  return parallel_reduce<uint64_t>(
+      pool, n, 0, std::forward<F>(f),
+      [](uint64_t a, uint64_t b) { return a + b; }, grain);
+}
+
+template <typename F>
+bool parallel_any(ThreadPool& pool, size_t n, F&& f,
+                  size_t grain = kDefaultGrain) {
+  return parallel_reduce<bool>(
+      pool, n, false, std::forward<F>(f),
+      [](bool a, bool b) { return a || b; }, grain);
+}
+
+}  // namespace pdmm

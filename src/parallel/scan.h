@@ -1,0 +1,66 @@
+// Parallel prefix sums (Hillis–Steele / Blelloch style two-pass blocked
+// scan). Claim 3.3 of the paper uses prefix sums [HS86] to refresh the
+// cumulative ownership counters; pack/filter is built on top of this.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+// Exclusive prefix sum of `in` into `out` (may alias); returns the total.
+// Two passes: per-block sums, serial scan of block sums (#blocks is small),
+// then per-block local scan with the block offset.
+template <typename T>
+T scan_exclusive(ThreadPool& pool, const std::vector<T>& in,
+                 std::vector<T>& out, size_t grain = kDefaultGrain) {
+  const size_t n = in.size();
+  out.resize(n);
+  if (n == 0) return T{0};
+  if (n <= grain || pool.num_threads() == 1) {
+    T acc{0};
+    for (size_t i = 0; i < n; ++i) {
+      const T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+
+  const size_t num_blocks = (n + grain - 1) / grain;
+  std::vector<T> block_sums(num_blocks);
+  parallel_for_blocked(
+      pool, n,
+      [&](size_t b, size_t e) {
+        T acc{0};
+        for (size_t i = b; i < e; ++i) acc += in[i];
+        block_sums[b / grain] = acc;
+      },
+      grain);
+
+  T total{0};
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    const T v = block_sums[blk];
+    block_sums[blk] = total;
+    total += v;
+  }
+
+  parallel_for_blocked(
+      pool, n,
+      [&](size_t b, size_t e) {
+        T acc = block_sums[b / grain];
+        for (size_t i = b; i < e; ++i) {
+          const T v = in[i];
+          out[i] = acc;
+          acc += v;
+        }
+      },
+      grain);
+  return total;
+}
+
+}  // namespace pdmm

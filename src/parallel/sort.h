@@ -1,0 +1,73 @@
+// Parallel merge sort: sort fixed-size blocks in parallel, then merge pairs
+// of runs level by level (each merge split in two around a median so both
+// halves merge in parallel). O(n log n) work, O(log^2 n) depth — sufficient
+// for the polylog-depth budget of every phase that sorts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace pdmm {
+
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::vector<T>& v, Cmp cmp = Cmp{},
+                   size_t grain = 1 << 13) {
+  const size_t n = v.size();
+  if (n <= grain || pool.num_threads() == 1) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+
+  // Sort blocks of `grain` in parallel.
+  const size_t num_blocks = (n + grain - 1) / grain;
+  parallel_for(
+      pool, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * grain;
+        const size_t hi = std::min(lo + grain, n);
+        std::sort(v.begin() + static_cast<ptrdiff_t>(lo),
+                  v.begin() + static_cast<ptrdiff_t>(hi), cmp);
+      },
+      1);
+
+  // Merge runs pairwise, ping-ponging between v and a buffer.
+  std::vector<T> buf(n);
+  T* src = v.data();
+  T* dst = buf.data();
+  for (size_t run = grain; run < n; run *= 2) {
+    const size_t pairs = (n + 2 * run - 1) / (2 * run);
+    parallel_for(
+        pool, pairs,
+        [&](size_t p) {
+          const size_t lo = p * 2 * run;
+          const size_t mid = std::min(lo + run, n);
+          const size_t hi = std::min(lo + 2 * run, n);
+          std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, cmp);
+        },
+        1);
+    std::swap(src, dst);
+  }
+  if (src != v.data()) {
+    parallel_for(pool, n, [&](size_t i) { v[i] = src[i]; });
+  }
+}
+
+// Stable group-by: sorts (key, payload) pairs by key and returns the start
+// offset of each distinct-key group. Used to realize the EREW discipline:
+// mutations are grouped by target vertex, then applied one group per task.
+template <typename T, typename KeyFn>
+std::vector<size_t> group_boundaries(const std::vector<T>& sorted,
+                                     KeyFn&& key) {
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || key(sorted[i]) != key(sorted[i - 1])) starts.push_back(i);
+  }
+  starts.push_back(sorted.size());
+  return starts;
+}
+
+}  // namespace pdmm

@@ -1,0 +1,98 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace pdmm {
+
+thread_local bool ThreadPool::in_parallel_region_ = false;
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_blocked(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  // Serial paths: tiny ranges, single-thread pools, or nested calls.
+  if (num_threads_ == 1 || n <= grain || in_parallel_region_) {
+    body(0, n);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    job_n_ = n;
+    job_grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    pending_workers_.store(num_threads_ - 1, std::memory_order_relaxed);
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  work_on_current_job();
+
+  // Wait for workers to drain; they decrement pending_workers_ when they can
+  // no longer claim a chunk of this job.
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] {
+    return pending_workers_.load(std::memory_order_acquire) == 0;
+  });
+  body_ = nullptr;
+}
+
+void ThreadPool::work_on_current_job() {
+  in_parallel_region_ = true;
+  while (true) {
+    const size_t begin =
+        cursor_.fetch_add(job_grain_, std::memory_order_relaxed);
+    if (begin >= job_n_) break;
+    const size_t end = std::min(begin + job_grain_, job_n_);
+    (*body_)(begin, end);
+  }
+  in_parallel_region_ = false;
+}
+
+void ThreadPool::worker_loop(unsigned /*tid*/) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    work_on_current_job();
+    if (pending_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out signals the coordinating thread.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pdmm

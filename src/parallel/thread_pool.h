@@ -1,0 +1,69 @@
+// A fork-join thread pool implementing the work/depth execution model.
+//
+// The pool owns `num_threads - 1` persistent workers; the calling thread
+// participates in every parallel region, so a pool of size 1 degenerates to
+// inline serial execution with no synchronization. Parallel regions hand out
+// fixed-size chunks of an index range through an atomic cursor
+// (self-scheduling), which keeps load balanced without work stealing.
+//
+// The pool is the single scheduling substrate for every parallel primitive
+// in pdmm (parallel_for, scan, pack, sort, the dictionary's batch ops, and
+// all phases of the dynamic matcher).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdmm {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  // Runs body(begin, end) over disjoint chunks covering [0, n), each chunk
+  // at most `grain` long. Blocks until all chunks complete. Reentrant calls
+  // from inside a parallel region execute serially (no nested parallelism;
+  // the algorithms in this library never need it).
+  void run_blocked(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  // A process-wide default pool (lazily constructed with hardware
+  // concurrency). Library entry points take an explicit pool; this default
+  // exists for examples and tests.
+  static ThreadPool& default_pool();
+
+ private:
+  void worker_loop(unsigned tid);
+  void work_on_current_job();
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+
+  // Job description; guarded by mu_ for publication, chunks claimed lock-free.
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_grain_ = 1;
+  std::atomic<size_t> cursor_{0};
+  std::atomic<size_t> pending_workers_{0};
+  uint64_t job_epoch_ = 0;
+  bool shutdown_ = false;
+  static thread_local bool in_parallel_region_;
+};
+
+}  // namespace pdmm

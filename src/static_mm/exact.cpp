@@ -1,0 +1,78 @@
+#include "static_mm/exact.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/flat_map.h"
+
+namespace pdmm {
+namespace {
+
+struct Solver {
+  const HyperedgeRegistry& reg;
+  std::vector<EdgeId> edges;
+  FlatPosMap<uint32_t> used;  // vertex -> usage count (0/1 semantics)
+  size_t best = 0;
+
+  bool vertex_free(Vertex v) const {
+    const uint32_t* c = used.find(v);
+    return !c || *c == 0;
+  }
+
+  void take(Vertex v) {
+    if (uint32_t* c = used.find(v)) {
+      *c = 1;
+    } else {
+      used.insert(v, 1);
+    }
+  }
+  void release(Vertex v) { *used.find(v) = 0; }
+
+  void solve(size_t idx, size_t current) {
+    best = std::max(best, current);
+    // Bound: even taking every remaining edge cannot beat `best`.
+    if (idx >= edges.size() || current + (edges.size() - idx) <= best) return;
+
+    const EdgeId e = edges[idx];
+    bool free = true;
+    for (Vertex v : reg.endpoints(e)) free &= vertex_free(v);
+    if (free) {
+      for (Vertex v : reg.endpoints(e)) take(v);
+      solve(idx + 1, current + 1);
+      for (Vertex v : reg.endpoints(e)) release(v);
+    }
+    solve(idx + 1, current);
+  }
+};
+
+}  // namespace
+
+size_t exact_maximum_matching_size(const HyperedgeRegistry& reg,
+                                   std::span<const EdgeId> candidates) {
+  Solver s{reg, {candidates.begin(), candidates.end()}, {}, 0};
+  PDMM_ASSERT_MSG(s.edges.size() <= 4096,
+                  "exact solver is for small test instances only");
+  // Order by decreasing conflict degree helps the bound prune early: count
+  // per-vertex incidences, score edges by the sum.
+  FlatPosMap<uint32_t> deg;
+  for (EdgeId e : s.edges) {
+    for (Vertex v : reg.endpoints(e)) {
+      if (uint32_t* c = deg.find(v)) {
+        ++*c;
+      } else {
+        deg.insert(v, 1);
+      }
+    }
+  }
+  auto score = [&](EdgeId e) {
+    uint32_t t = 0;
+    for (Vertex v : reg.endpoints(e)) t += *deg.find(v);
+    return t;
+  };
+  std::sort(s.edges.begin(), s.edges.end(),
+            [&](EdgeId a, EdgeId b) { return score(a) > score(b); });
+  s.solve(0, 0);
+  return s.best;
+}
+
+}  // namespace pdmm

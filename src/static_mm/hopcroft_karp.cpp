@@ -1,0 +1,117 @@
+#include "static_mm/hopcroft_karp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/flat_map.h"
+
+namespace pdmm {
+namespace {
+
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+
+struct Hk {
+  // Dense-relabelled bipartite graph: left vertices 0..nl-1 with adjacency
+  // into right vertices 0..nr-1.
+  std::vector<std::vector<uint32_t>> adj;  // per left vertex
+  std::vector<uint32_t> match_l, match_r;  // kInf = free
+  std::vector<uint32_t> dist;
+  std::vector<uint32_t> queue;
+
+  bool bfs() {
+    queue.clear();
+    for (uint32_t u = 0; u < adj.size(); ++u) {
+      if (match_l[u] == kInf) {
+        dist[u] = 0;
+        queue.push_back(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    bool found_free = false;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      const uint32_t u = queue[qi];
+      for (uint32_t v : adj[u]) {
+        const uint32_t w = match_r[v];
+        if (w == kInf) {
+          found_free = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    return found_free;
+  }
+
+  bool dfs(uint32_t u) {
+    for (uint32_t v : adj[u]) {
+      const uint32_t w = match_r[v];
+      if (w == kInf || (dist[w] == dist[u] + 1 && dfs(w))) {
+        match_l[u] = v;
+        match_r[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  }
+
+  size_t solve() {
+    size_t matching = 0;
+    while (bfs()) {
+      for (uint32_t u = 0; u < adj.size(); ++u) {
+        if (match_l[u] == kInf && dfs(u)) ++matching;
+      }
+    }
+    return matching;
+  }
+};
+
+}  // namespace
+
+size_t hopcroft_karp_max_matching(const HyperedgeRegistry& reg,
+                                  std::span<const EdgeId> edges,
+                                  const std::vector<uint8_t>& is_left) {
+  // Dense-relabel both sides.
+  FlatPosMap<uint32_t> lid, rid;
+  uint32_t nl = 0, nr = 0;
+  Hk hk;
+  for (EdgeId e : edges) {
+    const auto eps = reg.endpoints(e);
+    PDMM_ASSERT_MSG(eps.size() == 2, "Hopcroft-Karp requires rank-2 edges");
+    const bool l0 = eps[0] < is_left.size() && is_left[eps[0]];
+    const bool l1 = eps[1] < is_left.size() && is_left[eps[1]];
+    PDMM_ASSERT_MSG(l0 != l1, "edge is not bipartite under is_left");
+    const Vertex lu = l0 ? eps[0] : eps[1];
+    const Vertex rv = l0 ? eps[1] : eps[0];
+    uint32_t* lp = lid.find(lu);
+    if (!lp) {
+      lid.insert(lu, nl++);
+      hk.adj.emplace_back();
+      lp = lid.find(lu);
+    }
+    uint32_t* rp = rid.find(rv);
+    if (!rp) {
+      rid.insert(rv, nr++);
+      rp = rid.find(rv);
+    }
+    hk.adj[*lp].push_back(*rp);
+  }
+  hk.match_l.assign(nl, kInf);
+  hk.match_r.assign(nr, kInf);
+  hk.dist.assign(nl, kInf);
+  return hk.solve();
+}
+
+size_t hopcroft_karp_max_matching_split(const HyperedgeRegistry& reg,
+                                        std::span<const EdgeId> edges,
+                                        Vertex n_left) {
+  std::vector<uint8_t> is_left(reg.vertex_bound(), 0);
+  for (Vertex v = 0; v < std::min<Vertex>(n_left, reg.vertex_bound()); ++v)
+    is_left[v] = 1;
+  return hopcroft_karp_max_matching(reg, edges, is_left);
+}
+
+}  // namespace pdmm

@@ -1,0 +1,101 @@
+// Minimal command-line flag parser for the benchmark and example binaries.
+// Flags look like: --name=value or --name value. Unknown flags abort with
+// the usage string so typos never silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace pdmm {
+
+class ArgParse {
+ public:
+  ArgParse(int argc, char** argv) {
+    prog_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n",
+                     a.c_str());
+        std::exit(2);
+      }
+      a = a.substr(2);
+      const size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        args_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args_[a] = argv[++i];
+      } else {
+        args_[a] = "1";  // boolean flag
+      }
+    }
+  }
+
+  // Each get_* registers the flag for usage() and consumes it.
+  uint64_t get_u64(const std::string& name, uint64_t def) {
+    note(name, std::to_string(def));
+    auto it = args_.find(name);
+    if (it == args_.end()) return def;
+    const uint64_t v = std::strtoull(it->second.c_str(), nullptr, 10);
+    consumed_.insert({name, true});
+    return v;
+  }
+
+  double get_double(const std::string& name, double def) {
+    note(name, std::to_string(def));
+    auto it = args_.find(name);
+    if (it == args_.end()) return def;
+    consumed_.insert({name, true});
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string get_string(const std::string& name, const std::string& def) {
+    note(name, def);
+    auto it = args_.find(name);
+    if (it == args_.end()) return def;
+    consumed_.insert({name, true});
+    return it->second;
+  }
+
+  bool get_bool(const std::string& name, bool def) {
+    note(name, def ? "1" : "0");
+    auto it = args_.find(name);
+    if (it == args_.end()) return def;
+    consumed_.insert({name, true});
+    return it->second != "0" && it->second != "false";
+  }
+
+  // Call after all get_* registrations: aborts on unknown flags.
+  void finish() {
+    bool bad = false;
+    for (const auto& [k, v] : args_) {
+      if (!consumed_.count(k) && !known_.count(k)) {
+        std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+        bad = true;
+      }
+    }
+    if (bad) {
+      std::fprintf(stderr, "usage: %s", prog_.c_str());
+      for (const auto& [k, v] : known_)
+        std::fprintf(stderr, " [--%s=%s]", k.c_str(), v.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+
+ private:
+  void note(const std::string& name, const std::string& def) {
+    known_.emplace(name, def);
+    if (args_.count(name)) consumed_.insert({name, true});
+  }
+
+  std::string prog_;
+  std::map<std::string, std::string> args_;
+  std::map<std::string, std::string> known_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace pdmm

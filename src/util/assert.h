@@ -1,0 +1,37 @@
+// Lightweight assertion macros for pdmm.
+//
+// PDMM_ASSERT is active in all build types: the algorithm's correctness
+// invariants are cheap relative to the operations they guard, and silent
+// corruption in a dynamic data structure is far costlier than the check.
+// PDMM_DASSERT compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdmm {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pdmm assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pdmm
+
+#define PDMM_ASSERT(expr)                                        \
+  do {                                                           \
+    if (!(expr)) ::pdmm::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PDMM_ASSERT_MSG(expr, msg)                             \
+  do {                                                         \
+    if (!(expr)) ::pdmm::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PDMM_DASSERT(expr) ((void)0)
+#else
+#define PDMM_DASSERT(expr) PDMM_ASSERT(expr)
+#endif

@@ -1,0 +1,48 @@
+// Small bit-manipulation helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pdmm {
+
+// Smallest power of two >= x (x >= 1). Used to size hash tables.
+constexpr uint64_t next_pow2(uint64_t x) {
+  return x <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+// floor(log2(x)) for x >= 1.
+constexpr uint32_t log2_floor(uint64_t x) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+// ceil(log2(x)) for x >= 1.
+constexpr uint32_t log2_ceil(uint64_t x) {
+  return x <= 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+// ceil(log_base(x)) for base >= 2, x >= 1; by repeated multiplication so it
+// is exact for the small values the leveling scheme needs.
+constexpr uint32_t log_ceil(uint64_t base, uint64_t x) {
+  uint32_t l = 0;
+  // acc is 128-bit to avoid overflow when base^l first exceeds x near 2^64.
+  unsigned __int128 acc = 1;
+  while (acc < x) {
+    acc *= base;
+    ++l;
+  }
+  return l;
+}
+
+// Integer power base^exp with saturation at uint64 max; exponents in the
+// leveling scheme are <= L ~ log_alpha(N) so this never saturates in practice.
+constexpr uint64_t ipow_sat(uint64_t base, uint32_t exp) {
+  unsigned __int128 acc = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    acc *= base;
+    if (acc > ~uint64_t{0}) return ~uint64_t{0};
+  }
+  return static_cast<uint64_t>(acc);
+}
+
+}  // namespace pdmm

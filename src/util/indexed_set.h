@@ -1,0 +1,77 @@
+// IndexedSet: an unordered set of 32-bit ids with
+//   * O(1) expected insert / erase / contains,
+//   * O(1) uniform random sampling and O(1) indexed access,
+//   * contiguous iteration over members (cache-friendly retrieve()),
+//   * zero heap allocation while empty.
+//
+// This is the workhorse container behind the per-vertex O(v) and A(v,l)
+// sets and the per-level rising sets S_l of the leveling scheme. Random
+// sampling is what random-settle needs; contiguous iteration is what the
+// parallel "retrieve" of the paper's dictionary interface needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/flat_map.h"
+
+namespace pdmm {
+
+class IndexedSet {
+ public:
+  using value_type = uint32_t;
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+  bool contains(uint32_t x) const { return pos_.contains(x); }
+
+  // Inserts x if absent; returns true if inserted.
+  bool insert(uint32_t x) {
+    if (pos_.contains(x)) return false;
+    pos_.insert(x, static_cast<uint32_t>(items_.size()));
+    items_.push_back(x);
+    return true;
+  }
+
+  // Erases x if present; returns true if erased. Swap-with-last keeps the
+  // member array dense.
+  bool erase(uint32_t x) {
+    const uint32_t* p = pos_.find(x);
+    if (!p) return false;
+    const uint32_t i = *p;
+    const uint32_t last = items_.back();
+    items_[i] = last;
+    items_.pop_back();
+    pos_.erase(x);
+    if (last != x) *pos_.find(last) = i;
+    return true;
+  }
+
+  void clear() {
+    items_.clear();
+    pos_.clear();
+  }
+
+  // Dense view of all members; invalidated by insert/erase.
+  std::span<const uint32_t> items() const { return items_; }
+
+  uint32_t at(size_t i) const {
+    PDMM_DASSERT(i < items_.size());
+    return items_[i];
+  }
+
+  // Uniform member given an external random index in [0, size()).
+  uint32_t sample(uint64_t random_index) const {
+    PDMM_DASSERT(!items_.empty());
+    return items_[random_index % items_.size()];
+  }
+
+ private:
+  std::vector<uint32_t> items_;
+  FlatPosMap<uint32_t> pos_;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,111 @@
+// Streaming statistics accumulators used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace pdmm {
+
+// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores all samples; exact percentiles for benchmark reports.
+class PercentileStats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double percentile(double p) {
+    PDMM_ASSERT(p >= 0.0 && p <= 100.0);
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+  double max() {
+    return samples_.empty() ? 0.0 : percentile(100.0);
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Fixed-bucket histogram over non-negative integers (e.g. level indices,
+// settle repeat counts). Out-of-range values clamp to the last bucket.
+class Histogram {
+ public:
+  explicit Histogram(size_t buckets) : counts_(buckets, 0) {
+    PDMM_ASSERT(buckets > 0);
+  }
+
+  void add(size_t bucket, uint64_t weight = 1) {
+    counts_[std::min(bucket, counts_.size() - 1)] += weight;
+  }
+
+  uint64_t at(size_t bucket) const { return counts_.at(bucket); }
+  size_t buckets() const { return counts_.size(); }
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,141 @@
+// Update-stream generators (the oblivious adversaries of the experiments).
+//
+// Generators emit batches that reference edges by *endpoint list*, not by
+// EdgeId: every matcher implementation resolves endpoints against its own
+// registry, so one stream can drive pdmm and all baselines identically.
+// Each generator mirrors the live edge set in its own registry so it never
+// emits duplicate insertions or deletions of absent edges.
+//
+// All generator randomness comes from the generator's own seed — disjoint
+// from the matcher seed, which is exactly the oblivious-adversary model of
+// §2 (the adversary fixes the update sequence without seeing the
+// algorithm's coins). AdversarialMatchedDeleter is the deliberate
+// exception: it inspects the current matching (an *adaptive* adversary,
+// outside the paper's model) and exists to measure how much the guarantees
+// rely on obliviousness (experiment E10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/matcher_base.h"
+#include "graph/registry.h"
+#include "graph/types.h"
+#include "util/indexed_set.h"
+#include "util/rng.h"
+
+namespace pdmm {
+
+struct Batch {
+  std::vector<std::vector<Vertex>> deletions;   // by endpoints
+  std::vector<std::vector<Vertex>> insertions;  // by endpoints
+};
+
+// Resolves a batch against a matcher's registry and applies it.
+// Returns the per-insertion ids the matcher assigned.
+std::vector<EdgeId> apply_batch(MatcherBase& m, const Batch& b);
+
+// Mirror of the live edge set shared by all generators.
+class LiveSet {
+ public:
+  explicit LiveSet(uint32_t max_rank) : mirror_(max_rank) {}
+
+  size_t size() const { return live_.size(); }
+  const HyperedgeRegistry& mirror() const { return mirror_; }
+
+  // Draws a fresh random rank-`rank` edge over [0, n) not currently live,
+  // registers it and returns its endpoints.
+  std::vector<Vertex> insert_random(Xoshiro256& rng, Vertex n, uint32_t rank);
+  // Registers specific endpoints; returns empty vector when already live.
+  std::vector<Vertex> insert_exact(std::span<const Vertex> eps);
+  // Removes and returns a uniformly random live edge's endpoints. When
+  // `exclude` is given, edges in it are rejected (used to avoid deleting an
+  // edge inserted in the same batch — batches apply deletions first, so
+  // such an op would be inexpressible); returns empty when only excluded
+  // edges remain.
+  std::vector<Vertex> erase_random(Xoshiro256& rng,
+                                   const IndexedSet* exclude = nullptr);
+  EdgeId find(std::span<const Vertex> eps) const { return mirror_.find(eps); }
+  // Removes a specific live edge (by endpoints); asserts it is live.
+  void erase_exact(std::span<const Vertex> eps);
+  // Endpoints of the i-th live edge (insertion-order-ish, for FIFO models).
+  std::vector<Vertex> endpoints_at(size_t i) const;
+  EdgeId id_at(size_t i) const { return live_.at(i); }
+
+ private:
+  HyperedgeRegistry mirror_;
+  IndexedSet live_;
+};
+
+// ---- concrete streams ----
+
+// Mixed insert/delete churn around a target size: while below target the
+// insert probability dominates; at steady state deletions and insertions
+// balance. Uniform endpoints (zipf_s = 0) or Zipf-skewed endpoints.
+class ChurnStream {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    size_t target_edges = 1 << 12;
+    double delete_fraction = 0.5;  // at steady state
+    double zipf_s = 0.0;           // endpoint skew (0 = uniform)
+    uint64_t seed = 1;
+  };
+  explicit ChurnStream(const Options& opt);
+  Batch next(size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  std::vector<Vertex> draw_endpoints();
+  Options opt_;
+  Xoshiro256 rng_;
+  ZipfSampler zipf_;
+  LiveSet live_;
+};
+
+// Sliding window: every batch inserts k fresh edges and deletes the k
+// oldest (once the window is full) — the classic temporal-graph model.
+class SlidingWindowStream {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    size_t window = 1 << 12;
+    uint64_t seed = 1;
+  };
+  explicit SlidingWindowStream(const Options& opt);
+  Batch next(size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  Options opt_;
+  Xoshiro256 rng_;
+  LiveSet live_;
+  std::vector<std::vector<Vertex>> fifo_;
+  size_t fifo_head_ = 0;
+};
+
+// Adaptive adversary: deletes currently *matched* edges of a given matcher
+// (plus inserts replacements to keep the graph size stable). Violates the
+// oblivious model on purpose; see E10.
+class AdversarialMatchedDeleter {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    uint64_t seed = 1;
+  };
+  explicit AdversarialMatchedDeleter(const Options& opt);
+  // Builds the next batch against the observed matcher state.
+  Batch next(const MatcherBase& m, size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  Options opt_;
+  Xoshiro256 rng_;
+  LiveSet live_;
+};
+
+}  // namespace pdmm

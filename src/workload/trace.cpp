@@ -1,0 +1,62 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace pdmm {
+
+void write_trace(std::ostream& out, const std::vector<Batch>& batches) {
+  out << "# pdmm update trace: " << batches.size() << " batches\n";
+  for (const Batch& b : batches) {
+    for (const auto& eps : b.deletions) {
+      out << 'd';
+      for (Vertex v : eps) out << ' ' << v;
+      out << '\n';
+    }
+    for (const auto& eps : b.insertions) {
+      out << 'i';
+      for (Vertex v : eps) out << ' ' << v;
+      out << '\n';
+    }
+    out << "b\n";
+  }
+}
+
+std::vector<Batch> read_trace(std::istream& in) {
+  std::vector<Batch> batches;
+  Batch cur;
+  bool cur_dirty = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char op;
+    ls >> op;
+    if (op == 'b') {
+      batches.push_back(std::move(cur));
+      cur = {};
+      cur_dirty = false;
+      continue;
+    }
+    PDMM_ASSERT_MSG(op == 'i' || op == 'd', "trace: unknown op");
+    std::vector<Vertex> eps;
+    uint64_t v;
+    while (ls >> v) eps.push_back(static_cast<Vertex>(v));
+    PDMM_ASSERT_MSG(!eps.empty(), "trace: op without endpoints");
+    if (op == 'i') {
+      cur.insertions.push_back(std::move(eps));
+    } else {
+      cur.deletions.push_back(std::move(eps));
+    }
+    cur_dirty = true;
+  }
+  if (cur_dirty) batches.push_back(std::move(cur));
+  return batches;
+}
+
+}  // namespace pdmm

@@ -1,0 +1,38 @@
+// Update-trace file I/O: a line-oriented text format so streams can be
+// recorded, shared, and replayed against any matcher implementation.
+//
+// Format (one op per line, '#' comments, blank lines ignored):
+//   i v1 v2 ... vk     insert hyperedge {v1..vk}
+//   d v1 v2 ... vk     delete hyperedge {v1..vk}
+//   b                  batch boundary (ops between boundaries form a batch)
+//
+// A trace is a sequence of batches; within a batch, deletions apply before
+// insertions (the library's batch semantics), so recorders must not emit a
+// deletion of an edge inserted in the same batch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace pdmm {
+
+// Serializes batches into `out`. Inverse of read_trace.
+void write_trace(std::ostream& out, const std::vector<Batch>& batches);
+
+// Parses a trace; aborts with a line-numbered message on malformed input.
+std::vector<Batch> read_trace(std::istream& in);
+
+// Convenience: record `num_batches` from any stream generator.
+template <typename Stream>
+std::vector<Batch> record_stream(Stream& stream, size_t num_batches,
+                                 size_t batch_size) {
+  std::vector<Batch> out;
+  out.reserve(num_batches);
+  for (size_t i = 0; i < num_batches; ++i) out.push_back(stream.next(batch_size));
+  return out;
+}
+
+}  // namespace pdmm

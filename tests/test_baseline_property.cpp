@@ -1,0 +1,161 @@
+// Parameterized property sweeps for the two sequential baselines: long
+// churn streams across ranks, densities and seeds, with each baseline's
+// own invariant checker active, plus targeted stress shapes (hubs, cliques,
+// matched-targeting deletions).
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_dynamic.h"
+#include "baselines/sequential_dynamic.h"
+#include "core/matcher.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+struct BaseParams {
+  uint32_t rank;
+  Vertex n;
+  size_t target;
+  uint64_t seed;
+  double zipf;
+};
+
+std::string base_name(const testing::TestParamInfo<BaseParams>& info) {
+  const auto& p = info.param;
+  return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) + "_m" +
+         std::to_string(p.target) + "_s" + std::to_string(p.seed) +
+         (p.zipf > 0 ? "_zipf" : "_unif");
+}
+
+class SequentialSweep : public testing::TestWithParam<BaseParams> {};
+
+TEST_P(SequentialSweep, ChurnKeepsInvariants) {
+  const auto p = GetParam();
+  SequentialDynamicMatcher::Options opt;
+  opt.max_rank = p.rank;
+  opt.seed = p.seed * 13 + 1;
+  opt.check_invariants = true;
+  opt.initial_capacity = 1 << 14;
+  SequentialDynamicMatcher m(opt);
+
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.zipf_s = p.zipf;
+  so.seed = p.seed;
+  ChurnStream stream(so);
+  for (int i = 0; i < 30; ++i) {
+    apply_batch(m, stream.next(20));
+    ASSERT_EQ(m.graph().num_edges(), stream.live().size());
+  }
+}
+
+class GreedySweep : public testing::TestWithParam<BaseParams> {};
+
+TEST_P(GreedySweep, ChurnKeepsInvariants) {
+  const auto p = GetParam();
+  GreedyDynamicMatcher m(p.rank);
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.zipf_s = p.zipf;
+  so.seed = p.seed;
+  ChurnStream stream(so);
+  for (int i = 0; i < 30; ++i) {
+    apply_batch(m, stream.next(20));
+    m.check_invariants();
+  }
+}
+
+const auto kBaseSweep = testing::Values(
+    BaseParams{2, 48, 100, 1, 0.0}, BaseParams{2, 48, 100, 2, 0.0},
+    BaseParams{2, 32, 160, 3, 0.7}, BaseParams{3, 64, 120, 4, 0.0},
+    BaseParams{3, 64, 120, 5, 0.8}, BaseParams{4, 80, 140, 6, 0.0},
+    BaseParams{5, 96, 150, 7, 0.5}, BaseParams{1, 24, 16, 8, 0.0},
+    BaseParams{2, 128, 512, 9, 0.0}, BaseParams{2, 16, 60, 10, 0.0});
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SequentialSweep, kBaseSweep, base_name);
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedySweep, kBaseSweep, base_name);
+
+TEST(SequentialStress, HubMatchedDeletions) {
+  SequentialDynamicMatcher::Options opt;
+  opt.check_invariants = true;
+  opt.initial_capacity = 1 << 14;
+  SequentialDynamicMatcher m(opt);
+  for (Vertex i = 1; i <= 100; ++i)
+    m.insert_edge(std::vector<Vertex>{0, i});
+  for (int round = 0; round < 30; ++round) {
+    EdgeId matched = kNoEdge;
+    for (EdgeId e : m.graph().all_edges()) {
+      if (m.is_matched(e)) {
+        matched = e;
+        break;
+      }
+    }
+    if (matched == kNoEdge) break;
+    m.delete_edge(matched);
+  }
+  SUCCEED();
+}
+
+TEST(SequentialStress, CliqueChurn) {
+  SequentialDynamicMatcher::Options opt;
+  opt.check_invariants = true;
+  opt.initial_capacity = 1 << 14;
+  SequentialDynamicMatcher m(opt);
+  // K_12: every pair.
+  std::vector<EdgeId> ids;
+  for (Vertex a = 0; a < 12; ++a)
+    for (Vertex b = a + 1; b < 12; ++b)
+      ids.push_back(m.insert_edge(std::vector<Vertex>{a, b}));
+  EXPECT_EQ(m.matching_size(), 6u);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const EdgeId victim = ids[rng.below(ids.size())];
+    if (!m.graph().alive(victim)) continue;
+    const std::vector<Vertex> eps(m.graph().endpoints(victim).begin(),
+                                  m.graph().endpoints(victim).end());
+    m.delete_edge(victim);
+    ids[std::find(ids.begin(), ids.end(), victim) - ids.begin()] =
+        m.insert_edge(eps);
+  }
+  EXPECT_EQ(m.matching_size(), 6u) << "K_12 always has a 6-matching";
+}
+
+TEST(GreedyStress, WorstCaseScanCost) {
+  // Deleting the matched star edge makes greedy scan the hub's whole
+  // incidence list; its work counter must reflect Theta(degree).
+  GreedyDynamicMatcher m(2);
+  for (Vertex i = 1; i <= 500; ++i)
+    m.insert_edge(std::vector<Vertex>{0, i});
+  EdgeId matched = kNoEdge;
+  for (EdgeId e : m.graph().all_edges())
+    if (m.is_matched(e)) matched = e;
+  const auto before = m.total_cost();
+  m.delete_edge(matched);
+  const auto after = m.total_cost();
+  EXPECT_GE(after.work - before.work, 400u)
+      << "greedy must pay ~degree on a hub matched-deletion";
+  m.check_invariants();
+}
+
+TEST(UpdateByEndpoints, MatchesIdPath) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 12;
+  DynamicMatcher m(cfg, pool);
+  m.insert_batch(std::vector<std::vector<Vertex>>{{0, 1}, {1, 2}, {2, 3}});
+  const auto r = m.update_by_endpoints(
+      std::vector<std::vector<Vertex>>{{1, 0}},  // unordered endpoints OK
+      std::vector<std::vector<Vertex>>{{4, 5}});
+  EXPECT_EQ(m.graph().num_edges(), 3u);
+  EXPECT_EQ(m.find_edge(std::vector<Vertex>{0, 1}), kNoEdge);
+  EXPECT_NE(r.inserted_ids[0], kNoEdge);
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,190 @@
+// Tests of the three baselines, plus cross-validation of all four
+// implementations over identical update streams.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/greedy_dynamic.h"
+#include "baselines/pdmm_adapter.h"
+#include "baselines/sequential_dynamic.h"
+#include "baselines/static_recompute.h"
+#include "core/checker.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+std::vector<Vertex> V(std::initializer_list<Vertex> l) { return l; }
+
+TEST(SequentialDynamic, BasicLifecycle) {
+  SequentialDynamicMatcher::Options opt;
+  opt.check_invariants = true;
+  SequentialDynamicMatcher m(opt);
+  const EdgeId a = m.insert_edge(V({0, 1}));
+  const EdgeId b = m.insert_edge(V({1, 2}));
+  EXPECT_TRUE(m.is_matched(a));
+  EXPECT_FALSE(m.is_matched(b));
+  m.delete_edge(a);
+  EXPECT_TRUE(m.is_matched(b)) << "blocked edge promoted after deletion";
+  EXPECT_EQ(m.matching_size(), 1u);
+}
+
+TEST(SequentialDynamic, HubRisingCreatesTempDeletions) {
+  SequentialDynamicMatcher::Options opt;
+  opt.check_invariants = true;
+  opt.initial_capacity = 4096;
+  SequentialDynamicMatcher m(opt);
+  for (Vertex i = 1; i <= 150; ++i) m.insert_edge(V({0, i}));
+  EXPECT_EQ(m.matching_size(), 1u);
+  EXPECT_GT(m.vertex_level(0), 0) << "hub must rise above level 0";
+  for (int round = 0; round < 20; ++round) {
+    EdgeId matched = kNoEdge;
+    for (EdgeId e : m.graph().all_edges())
+      if (m.is_matched(e)) matched = e;
+    if (matched == kNoEdge) break;
+    m.delete_edge(matched);
+  }
+}
+
+TEST(SequentialDynamic, ChurnInvariants) {
+  SequentialDynamicMatcher::Options opt;
+  opt.check_invariants = true;
+  opt.initial_capacity = 8192;
+  opt.max_rank = 3;
+  SequentialDynamicMatcher m(opt);
+  ChurnStream::Options so;
+  so.n = 80;
+  so.rank = 3;
+  so.target_edges = 150;
+  so.seed = 5;
+  ChurnStream stream(so);
+  for (int i = 0; i < 40; ++i) {
+    const Batch b = stream.next(10);
+    apply_batch(m, b);
+  }
+  SUCCEED();
+}
+
+TEST(GreedyDynamic, BasicLifecycle) {
+  GreedyDynamicMatcher m(2);
+  const EdgeId a = m.insert_edge(V({0, 1}));
+  const EdgeId b = m.insert_edge(V({1, 2}));
+  EXPECT_TRUE(m.is_matched(a));
+  EXPECT_FALSE(m.is_matched(b));
+  m.delete_edge(a);
+  EXPECT_TRUE(m.is_matched(b));
+  m.check_invariants();
+}
+
+TEST(GreedyDynamic, ChurnStaysMaximal) {
+  GreedyDynamicMatcher m(2);
+  ChurnStream::Options so;
+  so.n = 100;
+  so.target_edges = 250;
+  so.seed = 9;
+  ChurnStream stream(so);
+  for (int i = 0; i < 50; ++i) {
+    apply_batch(m, stream.next(20));
+    m.check_invariants();
+  }
+}
+
+TEST(StaticRecompute, RecomputesEachBatch) {
+  ThreadPool pool(2);
+  StaticRecomputeMatcher m(2, 7, pool);
+  ChurnStream::Options so;
+  so.n = 100;
+  so.target_edges = 250;
+  so.seed = 10;
+  ChurnStream stream(so);
+  for (int i = 0; i < 20; ++i) {
+    apply_batch(m, stream.next(25));
+    std::vector<EdgeId> matched;
+    for (EdgeId e : m.graph().all_edges())
+      if (m.is_matched(e)) matched.push_back(e);
+    EXPECT_EQ(matched.size(), m.matching_size());
+    MatchingChecker::check_maximal_matching(m.graph(), matched);
+  }
+}
+
+// Cross-validation: all four implementations, fed the identical stream,
+// maintain maximal matchings of the same graph. Sizes may differ (any
+// maximal matching is legal) but by at most the factor-r bound, and the
+// graphs must be identical.
+class CrossValidation : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossValidation, FourImplementationsAgree) {
+  const uint64_t seed = GetParam();
+  ThreadPool pool(2);
+
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 1000 + seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 14;
+  auto pdmm_m = std::make_unique<PdmmAdapter>(cfg, pool);
+
+  SequentialDynamicMatcher::Options sopt;
+  sopt.seed = 2000 + seed;
+  sopt.check_invariants = true;
+  sopt.initial_capacity = 1 << 14;
+  auto seq = std::make_unique<SequentialDynamicMatcher>(sopt);
+
+  auto greedy = std::make_unique<GreedyDynamicMatcher>(2);
+  auto rebuild = std::make_unique<StaticRecomputeMatcher>(2, 3000 + seed, pool);
+
+  std::vector<MatcherBase*> impls{pdmm_m.get(), seq.get(), greedy.get(),
+                                  rebuild.get()};
+
+  ChurnStream::Options so;
+  so.n = 120;
+  so.target_edges = 300;
+  so.seed = seed;
+  ChurnStream stream(so);
+
+  for (int i = 0; i < 25; ++i) {
+    const Batch b = stream.next(30);
+    for (MatcherBase* m : impls) apply_batch(*m, b);
+    const size_t edges = impls[0]->graph().num_edges();
+    for (MatcherBase* m : impls) {
+      ASSERT_EQ(m->graph().num_edges(), edges) << m->name();
+    }
+    // Maximal matchings of the same graph are within factor 2 (=r) in size.
+    size_t mn = SIZE_MAX, mx = 0;
+    for (MatcherBase* m : impls) {
+      mn = std::min(mn, m->matching_size());
+      mx = std::max(mx, m->matching_size());
+    }
+    EXPECT_LE(mx, 2 * mn) << "maximal matchings differ beyond the r-factor";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation, testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+// EdgeId assignment must be identical across implementations (all share the
+// registry discipline), so streams resolved per-matcher stay in lockstep.
+TEST(CrossValidation, IdAssignmentLockstep) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 1 << 12;
+  PdmmAdapter a(cfg, pool);
+  GreedyDynamicMatcher b(2);
+  ChurnStream::Options so;
+  so.n = 50;
+  so.target_edges = 120;
+  so.seed = 77;
+  ChurnStream stream(so);
+  for (int i = 0; i < 30; ++i) {
+    const Batch batch = stream.next(15);
+    const auto ids_a = apply_batch(a, batch);
+    const auto ids_b = apply_batch(b, batch);
+    EXPECT_EQ(ids_a, ids_b);
+  }
+}
+
+}  // namespace
+}  // namespace pdmm

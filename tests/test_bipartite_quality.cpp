@@ -1,0 +1,126 @@
+// Bipartite quality: Hopcroft–Karp exact maximum matching as the comparator
+// for the maintained maximal matching on rank-2 bipartite workloads. The
+// guarantee is |maximal| >= |maximum| / 2 (paper §2 with r = 2).
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "static_mm/exact.h"
+#include "static_mm/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+// Random bipartite edges: left [0, nl), right [nl, nl + nr).
+std::vector<std::vector<Vertex>> bipartite_edges(Vertex nl, Vertex nr,
+                                                 size_t m, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  HyperedgeRegistry dedup(2);
+  std::vector<std::vector<Vertex>> out;
+  while (out.size() < m) {
+    const Vertex a = static_cast<Vertex>(rng.below(nl));
+    const Vertex b = static_cast<Vertex>(nl + rng.below(nr));
+    const std::vector<Vertex> eps{a, b};
+    if (dedup.insert(eps) == kNoEdge) continue;
+    out.push_back(eps);
+  }
+  return out;
+}
+
+TEST(HopcroftKarp, KnownValues) {
+  HyperedgeRegistry reg(2);
+  // Perfect matching on K_{3,3} minus nothing: max = 3.
+  for (Vertex l = 0; l < 3; ++l)
+    for (Vertex r = 3; r < 6; ++r)
+      reg.insert(std::vector<Vertex>{l, r});
+  EXPECT_EQ(hopcroft_karp_max_matching_split(reg, reg.all_edges(), 3), 3u);
+}
+
+TEST(HopcroftKarp, PathAlternation) {
+  // Path l0-r0-l1-r1: edges (l0,r0),(l1,r0),(l1,r1). Max matching = 2.
+  HyperedgeRegistry reg(2);
+  reg.insert(std::vector<Vertex>{0, 10});
+  reg.insert(std::vector<Vertex>{1, 10});
+  reg.insert(std::vector<Vertex>{1, 11});
+  EXPECT_EQ(hopcroft_karp_max_matching_split(reg, reg.all_edges(), 10), 2u);
+}
+
+TEST(HopcroftKarp, StarIsOne) {
+  HyperedgeRegistry reg(2);
+  for (Vertex r = 5; r < 25; ++r) reg.insert(std::vector<Vertex>{0, r});
+  EXPECT_EQ(hopcroft_karp_max_matching_split(reg, reg.all_edges(), 5), 1u);
+}
+
+TEST(HopcroftKarp, AgreesWithBranchAndBoundOnSmallInstances) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    HyperedgeRegistry reg(2);
+    for (const auto& eps : bipartite_edges(8, 8, 24, seed)) reg.insert(eps);
+    const auto all = reg.all_edges();
+    EXPECT_EQ(hopcroft_karp_max_matching_split(reg, all, 8),
+              exact_maximum_matching_size(reg, all))
+        << "seed " << seed;
+  }
+}
+
+TEST(HopcroftKarp, RejectsNonBipartite) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  HyperedgeRegistry reg(2);
+  reg.insert(std::vector<Vertex>{0, 1});  // both "left" under split at 2
+  EXPECT_DEATH(hopcroft_karp_max_matching_split(reg, reg.all_edges(), 2),
+               "bipartite");
+}
+
+struct BipQualityParams {
+  Vertex nl, nr;
+  size_t m;
+  uint64_t seed;
+};
+
+class BipQuality : public testing::TestWithParam<BipQualityParams> {};
+
+TEST_P(BipQuality, MaintainedMatchingAtLeastHalfOptimal) {
+  const auto p = GetParam();
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = p.seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  DynamicMatcher m(cfg, pool);
+  m.insert_batch(bipartite_edges(p.nl, p.nr, p.m, p.seed + 9));
+
+  Xoshiro256 rng(p.seed);
+  for (int round = 0; round < 5; ++round) {
+    // Churn 25%, then compare against the exact optimum.
+    std::vector<EdgeId> dels;
+    for (EdgeId e : m.graph().all_edges())
+      if (rng.uniform() < 0.25) dels.push_back(e);
+    m.update(dels,
+             bipartite_edges(p.nl, p.nr, dels.size(), p.seed + 50 + round));
+
+    const size_t opt = hopcroft_karp_max_matching_split(
+        m.graph(), m.graph().all_edges(), p.nl);
+    EXPECT_GE(2 * m.matching_size(), opt) << "below the 1/2 bound";
+    EXPECT_LE(m.matching_size(), opt);
+    // Empirically maximal matchings on random graphs land well above the
+    // worst case; flag if the ratio ever drops under 60%.
+    EXPECT_GE(10 * m.matching_size(), 6 * opt)
+        << "suspiciously poor matching quality";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BipQuality,
+    testing::Values(BipQualityParams{50, 50, 150, 1},
+                    BipQualityParams{100, 100, 400, 2},
+                    BipQualityParams{30, 300, 600, 3},   // lopsided
+                    BipQualityParams{500, 500, 2500, 4},
+                    BipQualityParams{200, 200, 300, 5}),  // sparse
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "l" + std::to_string(p.nl) + "_r" + std::to_string(p.nr) +
+             "_m" + std::to_string(p.m) + "_s" + std::to_string(p.seed);
+    });
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,131 @@
+// Unit tests for the hyperedge registry substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/registry.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+std::vector<Vertex> V(std::initializer_list<Vertex> l) { return l; }
+
+TEST(Registry, InsertFindErase) {
+  HyperedgeRegistry reg(2);
+  const EdgeId a = reg.insert(V({1, 2}));
+  const EdgeId b = reg.insert(V({2, 3}));
+  EXPECT_NE(a, kNoEdge);
+  EXPECT_NE(b, kNoEdge);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.find(V({2, 1})), a);  // canonical: order-insensitive
+  EXPECT_EQ(reg.num_edges(), 2u);
+  reg.erase(a);
+  EXPECT_EQ(reg.find(V({1, 2})), kNoEdge);
+  EXPECT_FALSE(reg.alive(a));
+  EXPECT_TRUE(reg.alive(b));
+}
+
+TEST(Registry, DuplicateRejected) {
+  HyperedgeRegistry reg(3);
+  EXPECT_NE(reg.insert(V({5, 9, 2})), kNoEdge);
+  EXPECT_EQ(reg.insert(V({2, 5, 9})), kNoEdge);
+  EXPECT_EQ(reg.insert(V({9, 2, 5})), kNoEdge);
+  EXPECT_EQ(reg.num_edges(), 1u);
+}
+
+TEST(Registry, EndpointsSortedAndRanked) {
+  HyperedgeRegistry reg(4);
+  const EdgeId e = reg.insert(V({9, 1, 5}));
+  const auto eps = reg.endpoints(e);
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0], 1u);
+  EXPECT_EQ(eps[1], 5u);
+  EXPECT_EQ(eps[2], 9u);
+  EXPECT_EQ(reg.rank(e), 3u);
+  EXPECT_EQ(reg.max_rank(), 4u);
+}
+
+TEST(Registry, IdRecycling) {
+  HyperedgeRegistry reg(2);
+  const EdgeId a = reg.insert(V({0, 1}));
+  reg.erase(a);
+  const EdgeId b = reg.insert(V({2, 3}));
+  EXPECT_EQ(a, b) << "freed ids are recycled";
+  EXPECT_EQ(reg.id_bound(), 1u);
+}
+
+TEST(Registry, VertexBoundTracksMax) {
+  HyperedgeRegistry reg(2);
+  reg.insert(V({0, 7}));
+  EXPECT_EQ(reg.vertex_bound(), 8u);
+  reg.insert(V({100, 3}));
+  EXPECT_EQ(reg.vertex_bound(), 101u);
+}
+
+TEST(Registry, AllEdgesEnumerates) {
+  HyperedgeRegistry reg(2);
+  std::set<EdgeId> ids;
+  for (Vertex i = 0; i < 10; ++i)
+    ids.insert(reg.insert(V({i, static_cast<Vertex>(i + 100)})));
+  auto all = reg.all_edges();
+  EXPECT_EQ(std::set<EdgeId>(all.begin(), all.end()), ids);
+}
+
+TEST(Registry, Rank1Edges) {
+  HyperedgeRegistry reg(1);
+  const EdgeId a = reg.insert(V({42}));
+  EXPECT_EQ(reg.find(V({42})), a);
+  EXPECT_EQ(reg.insert(V({42})), kNoEdge);
+  reg.erase(a);
+  EXPECT_EQ(reg.find(V({42})), kNoEdge);
+}
+
+TEST(Registry, ChurnMatchesReferenceSet) {
+  HyperedgeRegistry reg(2);
+  std::set<std::pair<Vertex, Vertex>> ref;
+  Xoshiro256 rng(31);
+  for (int op = 0; op < 20000; ++op) {
+    Vertex a = static_cast<Vertex>(rng.below(60));
+    Vertex b = static_cast<Vertex>(rng.below(60));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const std::vector<Vertex> eps{a, b};
+    if (rng.uniform() < 0.55) {
+      const EdgeId id = reg.insert(eps);
+      EXPECT_EQ(id != kNoEdge, ref.insert({a, b}).second);
+    } else {
+      const EdgeId id = reg.find(eps);
+      if (ref.count({a, b})) {
+        ASSERT_NE(id, kNoEdge);
+        reg.erase(id);
+        ref.erase({a, b});
+      } else {
+        EXPECT_EQ(id, kNoEdge);
+      }
+    }
+  }
+  EXPECT_EQ(reg.num_edges(), ref.size());
+  for (const auto& [a, b] : ref)
+    EXPECT_NE(reg.find(V({a, b})), kNoEdge);
+}
+
+TEST(Registry, ManyEdgesStress) {
+  HyperedgeRegistry reg(3);
+  Xoshiro256 rng(5);
+  std::vector<EdgeId> ids;
+  for (int i = 0; i < 50000; ++i) {
+    Vertex a = static_cast<Vertex>(rng.below(1 << 20));
+    Vertex b = static_cast<Vertex>(rng.below(1 << 20));
+    Vertex c = static_cast<Vertex>(rng.below(1 << 20));
+    if (a == b || b == c || a == c) continue;
+    const EdgeId id = reg.insert(V({a, b, c}));
+    if (id != kNoEdge) ids.push_back(id);
+  }
+  EXPECT_EQ(reg.num_edges(), ids.size());
+  for (size_t i = 0; i < ids.size(); i += 2) reg.erase(ids[i]);
+  EXPECT_EQ(reg.num_edges(), ids.size() - (ids.size() + 1) / 2);
+}
+
+}  // namespace
+}  // namespace pdmm

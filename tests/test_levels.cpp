@@ -1,0 +1,194 @@
+// Leveling-scheme internals: LevelScheme arithmetic, S_l semantics,
+// o~(v,l), settle statistics and the epoch accounting (§3.2, §4.2).
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+
+namespace pdmm {
+namespace {
+
+TEST(LevelScheme, AlphaAndL) {
+  // alpha = 4r; L = ceil(log_alpha N).
+  LevelScheme s2(2, 1000);   // alpha 8: 8^3=512 < 1000 <= 8^4
+  EXPECT_EQ(s2.alpha(), 8u);
+  EXPECT_EQ(s2.top_level(), 4);
+  LevelScheme s3(3, 145);    // alpha 12: 12^2=144 < 145 <= 12^3
+  EXPECT_EQ(s3.alpha(), 12u);
+  EXPECT_EQ(s3.top_level(), 3);
+  LevelScheme tiny(2, 2);
+  EXPECT_GE(tiny.top_level(), 1);
+}
+
+TEST(LevelScheme, PowersExact) {
+  LevelScheme s(2, 1 << 20);
+  for (Level l = 0; l <= s.top_level() + 2; ++l) {
+    EXPECT_EQ(s.alpha_pow(l), ipow_sat(8, static_cast<uint32_t>(l)));
+  }
+  EXPECT_EQ(s.rise_threshold(2), 64u);
+}
+
+TEST(Levels, OTildeCountsBelowLevel) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 3;
+  cfg.initial_capacity = 4096;
+  cfg.check_invariants = true;
+  DynamicMatcher m(cfg, pool);
+  // Star at vertex 0: after insertion, vertex 0 is matched and owns or
+  // neighbours all spokes.
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 30; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+
+  // o~(0, L) counts everything 0 can reach below L; the hub sees most of
+  // its incident edges (some may be temporarily deleted by settles).
+  uint64_t visible = 0;
+  for (EdgeId e : m.graph().all_edges())
+    visible += !m.is_temp_deleted(e);
+  const auto top = m.scheme().top_level();
+  EXPECT_LE(m.o_tilde(0, top), visible);
+
+  // o~ is monotone in l.
+  uint64_t prev = 0;
+  for (Level l = 0; l <= top; ++l) {
+    const uint64_t cur = m.o_tilde(0, l);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Levels, HubRisesAboveZero) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 5;
+  cfg.initial_capacity = 1 << 14;
+  cfg.check_invariants = true;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> spokes;
+  // alpha = 8; a hub with 100 > 8^2 spokes must rise to level >= 2 when
+  // eager settling is on.
+  for (Vertex i = 1; i <= 100; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+  EXPECT_GE(m.vertex_level(0), 2);
+  // Its matched edge lives at the same level (Invariant 3.1(2)).
+  const EdgeId me = m.matched_edge_of(0);
+  ASSERT_NE(me, kNoEdge);
+  EXPECT_EQ(m.edge_level(me), m.vertex_level(0));
+}
+
+TEST(Levels, LazyModeDefersRising) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 5;
+  cfg.initial_capacity = 1 << 14;
+  cfg.settle_after_insertions = false;  // paper-exact lazy mode
+  cfg.check_invariants = true;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 100; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+  // Insert-only batch: no settle ran; the hub sits at level 0 but is
+  // enqueued in some rising set.
+  EXPECT_EQ(m.vertex_level(0), 0);
+  // The next batch with a deletion sweeps L..0 and settles it.
+  const EdgeId any = m.graph().all_edges().front();
+  m.delete_batch(std::vector<EdgeId>{any});
+  EXPECT_GE(m.vertex_level(0), 2);
+}
+
+TEST(Levels, TempDeletedAccountedToResponsibleEpoch) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 11;
+  cfg.initial_capacity = 1 << 14;
+  cfg.check_invariants = true;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 120; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+
+  // Count temp-deleted edges; they must match the stats counter minus
+  // reinserted ones.
+  size_t temp = 0;
+  for (EdgeId e : m.graph().all_edges()) temp += m.is_temp_deleted(e);
+  EXPECT_GT(temp, 0u);
+  EXPECT_GE(m.stats().temp_deleted, temp);
+
+  // Deleting a temp-deleted edge consumes budget (§3.3.1 easy case).
+  std::vector<EdgeId> victims;
+  for (EdgeId e : m.graph().all_edges()) {
+    if (m.is_temp_deleted(e)) {
+      victims.push_back(e);
+      if (victims.size() == 5) break;
+    }
+  }
+  const auto before = m.graph().num_edges();
+  m.delete_batch(victims);
+  EXPECT_EQ(m.graph().num_edges(), before - victims.size());
+}
+
+TEST(Levels, SettleStatsAccumulate) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 13;
+  cfg.initial_capacity = 1 << 14;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 200; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+  const auto& st = m.stats();
+  EXPECT_GT(st.settles, 0u);
+  EXPECT_GE(st.subsettles, st.settles);
+  EXPECT_GE(st.subsubsettles, st.subsettles);
+  EXPECT_GT(st.edges_lifted, 0u);
+  EXPECT_EQ(st.settle_fallbacks, 0u);
+
+  const auto& ep = m.epoch_stats();
+  uint64_t created = 0;
+  for (auto c : ep.created) created += c;
+  EXPECT_GT(created, 0u);
+}
+
+TEST(Levels, EpochBalance) {
+  // created == ended + currently-matched, per run.
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 17;
+  cfg.initial_capacity = 1 << 14;
+  cfg.check_invariants = true;
+  DynamicMatcher m(cfg, pool);
+  Xoshiro256 rng(3);
+  HyperedgeRegistry dedup(2);
+  std::vector<std::vector<Vertex>> ins;
+  for (int i = 0; i < 150; ++i) {
+    Vertex a = static_cast<Vertex>(rng.below(50));
+    Vertex b = static_cast<Vertex>(rng.below(50));
+    if (a == b) continue;
+    std::vector<Vertex> eps{std::min(a, b), std::max(a, b)};
+    if (dedup.insert(eps) == kNoEdge) continue;
+    ins.push_back(eps);
+  }
+  m.insert_batch(ins);
+  for (int round = 0; round < 10; ++round) {
+    auto matched = m.matching();
+    matched.resize(std::min<size_t>(matched.size(), 5));
+    m.delete_batch(matched);
+  }
+  const auto& ep = m.epoch_stats();
+  uint64_t created = 0, ended = 0;
+  for (size_t i = 0; i < ep.created.size(); ++i) {
+    created += ep.created[i];
+    ended += ep.ended_natural[i] + ep.ended_induced[i];
+  }
+  EXPECT_EQ(created, ended + m.matching_size());
+}
+
+}  // namespace
+}  // namespace pdmm

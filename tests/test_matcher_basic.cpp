@@ -1,0 +1,195 @@
+// Basic behavioural tests of DynamicMatcher: small hand-constructed
+// scenarios with full invariant checking after every batch.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+
+namespace pdmm {
+namespace {
+
+Config test_config(uint32_t rank = 2, uint64_t seed = 7) {
+  Config cfg;
+  cfg.max_rank = rank;
+  cfg.seed = seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 64;
+  return cfg;
+}
+
+std::vector<std::vector<Vertex>> edges(
+    std::initializer_list<std::vector<Vertex>> l) {
+  return {l.begin(), l.end()};
+}
+
+TEST(MatcherBasic, EmptyBatchesAreNoops) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.update({}, {});
+  EXPECT_TRUE(r.inserted_ids.empty());
+  EXPECT_TRUE(r.newly_matched.empty());
+  EXPECT_EQ(m.matching_size(), 0u);
+}
+
+TEST(MatcherBasic, SingleEdgeIsMatched) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}}));
+  ASSERT_EQ(r.inserted_ids.size(), 1u);
+  EXPECT_NE(r.inserted_ids[0], kNoEdge);
+  EXPECT_TRUE(m.is_matched(r.inserted_ids[0]));
+  EXPECT_EQ(m.matching_size(), 1u);
+  EXPECT_EQ(r.newly_matched.size(), 1u);
+  EXPECT_EQ(m.vertex_level(0), 0);
+  EXPECT_EQ(m.vertex_level(1), 0);
+}
+
+TEST(MatcherBasic, TriangleMatchesExactlyOneEdge) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}, {1, 2}, {0, 2}}));
+  EXPECT_EQ(m.matching_size(), 1u);
+  // All three inserted, exactly one matched.
+  int matched = 0;
+  for (EdgeId e : r.inserted_ids) matched += m.is_matched(e);
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(MatcherBasic, DisjointEdgesAllMatch) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}, {2, 3}, {4, 5}, {6, 7}}));
+  EXPECT_EQ(m.matching_size(), 4u);
+  for (EdgeId e : r.inserted_ids) EXPECT_TRUE(m.is_matched(e));
+}
+
+TEST(MatcherBasic, DuplicateInsertRejected) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r1 = m.insert_batch(edges({{0, 1}}));
+  auto r2 = m.insert_batch(edges({{1, 0}}));  // same canonical edge
+  EXPECT_EQ(r2.inserted_ids[0], kNoEdge);
+  // Duplicate within one batch.
+  auto r3 = m.insert_batch(edges({{2, 3}, {3, 2}}));
+  EXPECT_NE(r3.inserted_ids[0], kNoEdge);
+  EXPECT_EQ(r3.inserted_ids[1], kNoEdge);
+}
+
+TEST(MatcherBasic, DeleteUnmatchedEdgeKeepsMatching) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}, {1, 2}}));
+  const EdgeId matched = m.is_matched(r.inserted_ids[0]) ? r.inserted_ids[0]
+                                                         : r.inserted_ids[1];
+  const EdgeId other = matched == r.inserted_ids[0] ? r.inserted_ids[1]
+                                                    : r.inserted_ids[0];
+  auto rd = m.delete_batch(std::vector<EdgeId>{other});
+  EXPECT_TRUE(m.is_matched(matched));
+  EXPECT_TRUE(rd.newly_unmatched.empty());
+  EXPECT_EQ(m.matching_size(), 1u);
+}
+
+TEST(MatcherBasic, DeleteMatchedEdgePromotesBlockedEdge) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  // Path 0-1-2: one edge matched, the other blocked.
+  auto r = m.insert_batch(edges({{0, 1}, {1, 2}}));
+  const EdgeId matched = m.is_matched(r.inserted_ids[0]) ? r.inserted_ids[0]
+                                                         : r.inserted_ids[1];
+  const EdgeId other = matched == r.inserted_ids[0] ? r.inserted_ids[1]
+                                                    : r.inserted_ids[0];
+  auto rd = m.delete_batch(std::vector<EdgeId>{matched});
+  EXPECT_TRUE(m.is_matched(other)) << "blocked edge must be promoted";
+  EXPECT_EQ(m.matching_size(), 1u);
+  ASSERT_EQ(rd.newly_matched.size(), 1u);
+  EXPECT_EQ(rd.newly_matched[0], other);
+}
+
+TEST(MatcherBasic, DeleteAndReinsertSameBatch) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}}));
+  const EdgeId e = r.inserted_ids[0];
+  // Delete it and insert it again in one batch: deletions run first.
+  auto r2 = m.update(std::vector<EdgeId>{e}, edges({{0, 1}}));
+  EXPECT_NE(r2.inserted_ids[0], kNoEdge);
+  EXPECT_TRUE(m.is_matched(r2.inserted_ids[0]));
+  EXPECT_EQ(m.matching_size(), 1u);
+}
+
+TEST(MatcherBasic, MixedBatchLargeStar) {
+  // A star forces heavy conflict: only one star edge can ever be matched.
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  std::vector<std::vector<Vertex>> star;
+  for (Vertex i = 1; i <= 40; ++i) star.push_back({0, i});
+  auto r = m.insert_batch(star);
+  EXPECT_EQ(m.matching_size(), 1u);
+  // Delete the matched star edge; another must take over.
+  EdgeId matched = kNoEdge;
+  for (EdgeId e : r.inserted_ids)
+    if (m.is_matched(e)) matched = e;
+  ASSERT_NE(matched, kNoEdge);
+  m.delete_batch(std::vector<EdgeId>{matched});
+  EXPECT_EQ(m.matching_size(), 1u);
+}
+
+TEST(MatcherBasic, DeleteEverything) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}));
+  std::vector<EdgeId> all;
+  for (EdgeId e : r.inserted_ids) all.push_back(e);
+  m.delete_batch(all);
+  EXPECT_EQ(m.matching_size(), 0u);
+  EXPECT_EQ(m.graph().num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v)
+    EXPECT_EQ(m.vertex_level(v), kUnmatchedLevel);
+}
+
+TEST(MatcherBasic, RebuildPreservesMaximality) {
+  ThreadPool pool(1);
+  Config cfg = test_config();
+  cfg.initial_capacity = 8;  // force rebuilds quickly
+  DynamicMatcher m(cfg, pool);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<Vertex>> ins;
+    for (Vertex i = 0; i < 4; ++i)
+      ins.push_back({static_cast<Vertex>(8 * round + 2 * i),
+                     static_cast<Vertex>(8 * round + 2 * i + 1)});
+    m.insert_batch(ins);
+  }
+  EXPECT_GT(m.stats().rebuilds, 0u);
+  EXPECT_EQ(m.matching_size(), 40u);  // all disjoint
+}
+
+TEST(MatcherBasic, ManualRebuildKeepsState) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  m.insert_batch(edges({{0, 1}, {1, 2}, {3, 4}}));
+  const size_t before = m.matching_size();
+  m.rebuild();
+  MatchingChecker::check(m);
+  EXPECT_EQ(m.matching_size(), before);  // same graph, same maximal size here
+}
+
+TEST(MatcherBasic, Rank1EdgesActAsVertexSelection) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(/*rank=*/1), pool);
+  auto r = m.insert_batch(edges({{0}, {1}, {2}}));
+  EXPECT_EQ(m.matching_size(), 3u);  // singletons never conflict
+  m.delete_batch(std::vector<EdgeId>{r.inserted_ids[1]});
+  EXPECT_EQ(m.matching_size(), 2u);
+}
+
+TEST(MatcherBasic, NewlyUnmatchedReportsDeletedMatch) {
+  ThreadPool pool(1);
+  DynamicMatcher m(test_config(), pool);
+  auto r = m.insert_batch(edges({{0, 1}}));
+  auto rd = m.delete_batch(std::vector<EdgeId>{r.inserted_ids[0]});
+  ASSERT_EQ(rd.newly_unmatched.size(), 1u);
+  EXPECT_EQ(rd.newly_unmatched[0], r.inserted_ids[0]);
+}
+
+}  // namespace
+}  // namespace pdmm

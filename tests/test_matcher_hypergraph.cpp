@@ -1,0 +1,139 @@
+// Hypergraph-specific tests of DynamicMatcher (rank r > 2): the paper's
+// generalization target (Theorem 1.1). The invariant oracle runs per batch.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+Config hyper_config(uint32_t rank, uint64_t seed = 11) {
+  Config cfg;
+  cfg.max_rank = rank;
+  cfg.seed = seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 512;
+  return cfg;
+}
+
+TEST(MatcherHyper, Rank3TriangleOfTriples) {
+  ThreadPool pool(1);
+  DynamicMatcher m(hyper_config(3), pool);
+  // Three rank-3 edges pairwise sharing a vertex: only one can match.
+  std::vector<std::vector<Vertex>> ins{{0, 1, 2}, {2, 3, 4}, {4, 5, 0}};
+  auto r = m.insert_batch(ins);
+  EXPECT_EQ(m.matching_size(), 1u);
+  int matched = 0;
+  for (EdgeId e : r.inserted_ids) matched += m.is_matched(e);
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(MatcherHyper, MixedRanksUnderMaxRank) {
+  ThreadPool pool(1);
+  DynamicMatcher m(hyper_config(4), pool);
+  // Ranks 1..4 coexist below max_rank.
+  auto r = m.insert_batch(std::vector<std::vector<Vertex>>{
+      {0}, {1, 2}, {3, 4, 5}, {6, 7, 8, 9}});
+  EXPECT_EQ(m.matching_size(), 4u);
+  for (EdgeId e : r.inserted_ids) EXPECT_TRUE(m.is_matched(e));
+}
+
+TEST(MatcherHyper, AlphaScalesWithRank) {
+  ThreadPool pool(1);
+  DynamicMatcher m2(hyper_config(2), pool);
+  DynamicMatcher m5(hyper_config(5), pool);
+  EXPECT_EQ(m2.scheme().alpha(), 8u);
+  EXPECT_EQ(m5.scheme().alpha(), 20u);
+}
+
+TEST(MatcherHyper, HubOfTriplesChurn) {
+  ThreadPool pool(1);
+  DynamicMatcher m(hyper_config(3, 29), pool);
+  // All edges share vertex 0: only one ever matched; deleting it cascades.
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 0; i < 80; ++i)
+    spokes.push_back({0, static_cast<Vertex>(1 + 2 * i),
+                      static_cast<Vertex>(2 + 2 * i)});
+  m.insert_batch(spokes);
+  EXPECT_EQ(m.matching_size(), 1u);
+  for (int round = 0; round < 15 && m.graph().num_edges() > 0; ++round) {
+    const EdgeId me = m.matched_edge_of(0);
+    ASSERT_NE(me, kNoEdge);
+    m.delete_batch(std::vector<EdgeId>{me});
+    if (m.graph().num_edges() > 0) EXPECT_EQ(m.matching_size(), 1u);
+  }
+}
+
+struct HyperFuzz {
+  uint32_t rank;
+  Vertex n;
+  size_t target;
+  size_t batch;
+  uint64_t seed;
+};
+
+class MatcherHyperFuzz : public testing::TestWithParam<HyperFuzz> {};
+
+TEST_P(MatcherHyperFuzz, ChurnKeepsInvariants) {
+  const auto p = GetParam();
+  ThreadPool pool(1);
+  DynamicMatcher m(hyper_config(p.rank, p.seed), pool);
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.seed = p.seed;
+  ChurnStream stream(so);
+  size_t updates = 0;
+  while (updates < 3 * p.target) {
+    const Batch b = stream.next(p.batch);
+    updates += b.deletions.size() + b.insertions.size();
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) {
+      const EdgeId e = m.find_edge(eps);
+      ASSERT_NE(e, kNoEdge);
+      dels.push_back(e);
+    }
+    m.update(dels, b.insertions);
+  }
+  EXPECT_EQ(m.stats().settle_fallbacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranks, MatcherHyperFuzz,
+    testing::Values(HyperFuzz{3, 60, 120, 12, 1}, HyperFuzz{3, 60, 120, 12, 2},
+                    HyperFuzz{4, 80, 150, 16, 3}, HyperFuzz{5, 100, 150, 16, 4},
+                    HyperFuzz{6, 120, 200, 25, 5}, HyperFuzz{8, 200, 250, 32, 6},
+                    HyperFuzz{3, 400, 800, 64, 7}, HyperFuzz{4, 30, 200, 16, 8}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) + "_s" +
+             std::to_string(p.seed);
+    });
+
+// Matching size is always at least 1/r of maximum matching; on a disjoint
+// union of k cliques-of-triples it is exactly computable.
+TEST(MatcherHyper, SizeLowerBoundOnBlocks) {
+  ThreadPool pool(1);
+  DynamicMatcher m(hyper_config(3), pool);
+  // 30 disjoint groups of 3 mutually-overlapping triples: max matching = 30,
+  // any maximal matching also 30 (one per group).
+  std::vector<std::vector<Vertex>> ins;
+  for (Vertex g = 0; g < 30; ++g) {
+    const Vertex base = g * 6;
+    ins.push_back({base, static_cast<Vertex>(base + 1),
+                   static_cast<Vertex>(base + 2)});
+    ins.push_back({base, static_cast<Vertex>(base + 3),
+                   static_cast<Vertex>(base + 4)});
+    ins.push_back({static_cast<Vertex>(base + 1),
+                   static_cast<Vertex>(base + 3),
+                   static_cast<Vertex>(base + 5)});
+  }
+  m.insert_batch(ins);
+  EXPECT_GE(m.matching_size(), 30u);
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,176 @@
+// Miscellaneous edge-case and statistical tests across modules.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+#include "parallel/parallel_for.h"
+#include "static_mm/luby.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+// --- Luby randomness sanity: on a symmetric 2-edge path, each edge should
+// win the matching for about half of the seeds (oblivious-adversary
+// randomness actually varies with the seed).
+TEST(LubyStats, SymmetricPathIsFairAcrossSeeds) {
+  HyperedgeRegistry reg(2);
+  const EdgeId a = reg.insert(std::vector<Vertex>{0, 1});
+  const EdgeId b = reg.insert(std::vector<Vertex>{1, 2});
+  ThreadPool pool(1);
+  int a_wins = 0;
+  const int kTrials = 400;
+  for (int s = 0; s < kTrials; ++s) {
+    const auto res = static_maximal_matching(
+        pool, reg, std::vector<EdgeId>{a, b}, 1000 + s);
+    ASSERT_EQ(res.matched.size(), 1u);
+    a_wins += res.matched[0] == a;
+  }
+  // Binomial(400, ~1/2): 5-sigma band is +-50.
+  EXPECT_NEAR(a_wins, kTrials / 2, 50);
+}
+
+// Hub fairness: among 8 symmetric star edges, the winner should spread
+// across seeds rather than fixating on one id.
+TEST(LubyStats, StarWinnerSpreadsAcrossSeeds) {
+  HyperedgeRegistry reg(2);
+  std::vector<EdgeId> ids;
+  for (Vertex i = 1; i <= 8; ++i)
+    ids.push_back(reg.insert(std::vector<Vertex>{0, i}));
+  ThreadPool pool(1);
+  std::vector<int> wins(reg.id_bound(), 0);
+  for (int s = 0; s < 400; ++s) {
+    const auto res = static_maximal_matching(pool, reg, ids, 5000 + s);
+    ASSERT_EQ(res.matched.size(), 1u);
+    wins[res.matched[0]]++;
+  }
+  for (EdgeId e : ids) {
+    EXPECT_GT(wins[e], 10) << "edge " << e << " never wins";
+    EXPECT_LT(wins[e], 150) << "edge " << e << " wins far too often";
+  }
+}
+
+// --- ThreadPool shapes ---
+TEST(PoolShapes, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> c{0};
+  parallel_for(pool, 3, [&](size_t) { c.fetch_add(1); }, 1);
+  EXPECT_EQ(c.load(), 3);
+}
+
+TEST(PoolShapes, GrainLargerThanRange) {
+  ThreadPool pool(4);
+  std::atomic<int> c{0};
+  parallel_for(pool, 100, [&](size_t) { c.fetch_add(1); }, 10000);
+  EXPECT_EQ(c.load(), 100);
+}
+
+TEST(PoolShapes, ZeroWorkIsNoop) {
+  ThreadPool pool(4);
+  parallel_for(pool, 0, [&](size_t) { FAIL() << "must not run"; });
+}
+
+// --- whole-graph replacement batches ---
+TEST(MassChurn, ReplaceEntireGraphRepeatedly) {
+  ThreadPool pool(2);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 5;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 15;
+  DynamicMatcher m(cfg, pool);
+  Xoshiro256 rng(9);
+  for (int round = 0; round < 8; ++round) {
+    // Delete everything, insert a fresh random graph in the same batch.
+    const std::vector<EdgeId> all = m.graph().all_edges();
+    HyperedgeRegistry dedup(2);
+    std::vector<std::vector<Vertex>> ins;
+    for (int i = 0; i < 300; ++i) {
+      const Vertex a = static_cast<Vertex>(rng.below(100));
+      const Vertex b = static_cast<Vertex>(rng.below(100));
+      if (a == b) continue;
+      const std::vector<Vertex> eps{std::min(a, b), std::max(a, b)};
+      if (dedup.insert(eps) == kNoEdge) continue;
+      ins.push_back(eps);
+    }
+    m.update(all, ins);
+    EXPECT_EQ(m.graph().num_edges(), ins.size());
+    EXPECT_GT(m.matching_size(), 0u);
+  }
+}
+
+TEST(MassChurn, DeleteAllThenEmptyBatches) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 3;
+  cfg.seed = 7;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 12;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> ins;
+  for (Vertex i = 0; i < 60; i += 3)
+    ins.push_back({i, static_cast<Vertex>(i + 1), static_cast<Vertex>(i + 2)});
+  m.insert_batch(ins);
+  m.delete_batch(m.graph().all_edges());
+  EXPECT_EQ(m.graph().num_edges(), 0u);
+  EXPECT_EQ(m.matching_size(), 0u);
+  for (int i = 0; i < 3; ++i) m.update({}, {});
+  EXPECT_EQ(m.cost().work, m.cost().work);  // still alive and consistent
+}
+
+// --- vertex cover under churn ---
+TEST(VertexCover, AlwaysCoversAllEdges) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 3;
+  cfg.seed = 3;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 14;
+  DynamicMatcher m(cfg, pool);
+  Xoshiro256 rng(17);
+  HyperedgeRegistry dedup(3);
+  std::vector<std::vector<Vertex>> ins;
+  for (int i = 0; i < 200; ++i) {
+    Vertex a = static_cast<Vertex>(rng.below(70));
+    Vertex b = static_cast<Vertex>(rng.below(70));
+    Vertex c = static_cast<Vertex>(rng.below(70));
+    if (a == b || b == c || a == c) continue;
+    std::vector<Vertex> eps{a, b, c};
+    std::sort(eps.begin(), eps.end());
+    if (dedup.insert(eps) == kNoEdge) continue;
+    ins.push_back(eps);
+  }
+  m.insert_batch(ins);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<EdgeId> dels;
+    for (EdgeId e : m.graph().all_edges())
+      if (rng.uniform() < 0.3) dels.push_back(e);
+    m.delete_batch(dels);
+
+    std::vector<uint8_t> in_cover(m.graph().vertex_bound(), 0);
+    for (Vertex v : m.vertex_cover()) in_cover[v] = 1;
+    for (EdgeId e : m.graph().all_edges()) {
+      bool covered = false;
+      for (Vertex u : m.graph().endpoints(e)) covered |= in_cover[u];
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+// --- registry shrink path ---
+TEST(RegistryShrink, MassEraseTriggersDictShrink) {
+  HyperedgeRegistry reg(2);
+  std::vector<EdgeId> ids;
+  for (Vertex i = 0; i < 20000; ++i)
+    ids.push_back(reg.insert(
+        std::vector<Vertex>{2 * i, 2 * i + 1}));
+  for (EdgeId e : ids) reg.erase(e);
+  EXPECT_EQ(reg.num_edges(), 0u);
+  // Registry still functional after the churn.
+  const EdgeId e = reg.insert(std::vector<Vertex>{1, 2});
+  EXPECT_NE(e, kNoEdge);
+  EXPECT_EQ(reg.find(std::vector<Vertex>{2, 1}), e);
+}
+
+}  // namespace
+}  // namespace pdmm

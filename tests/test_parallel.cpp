@@ -1,0 +1,155 @@
+// Unit tests for the parallel runtime: pool, for, scan, reduce, pack, sort,
+// grouped application.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dict/batch_ops.h"
+#include "parallel/pack.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "parallel/scan.h"
+#include "parallel/sort.h"
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace pdmm {
+namespace {
+
+class ParallelAcrossThreads : public testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelAcrossThreads, ForCoversEveryIndexOnce) {
+  ThreadPool pool(GetParam());
+  const size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, n, [&](size_t i) { hits[i].fetch_add(1); }, 128);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ParallelAcrossThreads, ScanMatchesSerial) {
+  ThreadPool pool(GetParam());
+  Xoshiro256 rng(4);
+  std::vector<uint64_t> in(12345);
+  for (auto& x : in) x = rng.below(100);
+  std::vector<uint64_t> out;
+  const uint64_t total = scan_exclusive(pool, in, out, 64);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], acc);
+    acc += in[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(ParallelAcrossThreads, ReduceSumAndAny) {
+  ThreadPool pool(GetParam());
+  const size_t n = 54321;
+  EXPECT_EQ(parallel_sum(pool, n, [](size_t i) { return i; }, 100),
+            n * (n - 1) / 2);
+  EXPECT_TRUE(parallel_any(pool, n, [](size_t i) { return i == 54320; }, 64));
+  EXPECT_FALSE(parallel_any(pool, n, [](size_t) { return false; }, 64));
+}
+
+TEST_P(ParallelAcrossThreads, PackKeepsOrder) {
+  ThreadPool pool(GetParam());
+  std::vector<uint32_t> vals(10000);
+  std::iota(vals.begin(), vals.end(), 0);
+  auto evens =
+      pack_values(pool, vals, [&](size_t i) { return vals[i] % 2 == 0; }, 64);
+  ASSERT_EQ(evens.size(), 5000u);
+  for (size_t i = 0; i < evens.size(); ++i) EXPECT_EQ(evens[i], 2 * i);
+
+  auto idx = pack_indices(pool, 1000, [](size_t i) { return i % 7 == 0; }, 64);
+  for (size_t i = 0; i < idx.size(); ++i) EXPECT_EQ(idx[i], 7 * i);
+}
+
+TEST_P(ParallelAcrossThreads, SortMatchesStdSort) {
+  ThreadPool pool(GetParam());
+  Xoshiro256 rng(8);
+  std::vector<uint64_t> v(200000);
+  for (auto& x : v) x = rng();
+  std::vector<uint64_t> ref = v;
+  parallel_sort(pool, v, std::less<>{}, 1 << 10);
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(v, ref);
+}
+
+TEST_P(ParallelAcrossThreads, SortTinyAndEmpty) {
+  ThreadPool pool(GetParam());
+  std::vector<uint64_t> empty;
+  parallel_sort(pool, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<uint64_t> one{42};
+  parallel_sort(pool, one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST_P(ParallelAcrossThreads, ApplyGroupedPartitionsByKey) {
+  ThreadPool pool(GetParam());
+  struct Rec {
+    uint32_t key;
+    uint32_t val;
+  };
+  Xoshiro256 rng(15);
+  std::vector<Rec> recs(5000);
+  std::vector<uint64_t> expected(97, 0);
+  for (auto& r : recs) {
+    r.key = static_cast<uint32_t>(rng.below(97));
+    r.val = static_cast<uint32_t>(rng.below(10));
+    expected[r.key] += r.val;
+  }
+  std::vector<std::atomic<uint64_t>> got(97);
+  apply_grouped(
+      pool, recs, [](const Rec& r) { return uint64_t{r.key}; },
+      [&](uint64_t key, const Rec* b, const Rec* e) {
+        uint64_t sum = 0;
+        for (const Rec* r = b; r != e; ++r) {
+          EXPECT_EQ(r->key, key);
+          sum += r->val;
+        }
+        got[key].fetch_add(sum);
+      });
+  for (size_t k = 0; k < 97; ++k) EXPECT_EQ(got[k].load(), expected[k]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelAcrossThreads,
+                         testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ThreadPool, NestedParallelismRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  parallel_for(pool, 100, [&](size_t) {
+    // Nested region must run inline without deadlocking.
+    parallel_for(pool, 10, [&](size_t) { total.fetch_add(1); }, 1);
+  }, 1);
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ManySmallJobsDoNotLeakOrDeadlock) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 2000; ++i) {
+    std::atomic<int> c{0};
+    parallel_for(pool, 8, [&](size_t) { c.fetch_add(1); }, 1);
+    ASSERT_EQ(c.load(), 8);
+  }
+}
+
+TEST(CostModel, RoundsAndWorkAccumulate) {
+  CostCounters c;
+  c.round(10);
+  c.round(5);
+  c.add_work(3);
+  EXPECT_EQ(c.rounds, 2u);
+  EXPECT_EQ(c.work, 18u);
+  CostCounters d;
+  d.round(1);
+  c += d;
+  EXPECT_EQ(c.rounds, 3u);
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,145 @@
+// BatchResult reporting consistency: a client that mirrors the matching
+// purely from newly_matched / newly_unmatched / inserted_ids must stay in
+// lockstep with the matcher's own view — including across edge-id recycling
+// within a batch, kicks, temp-deletion dissolution and rebuilds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/matcher.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+struct Mirror {
+  std::set<EdgeId> matched;
+
+  void apply(const DynamicMatcher::BatchResult& r,
+             const std::vector<EdgeId>& deletions) {
+    // Deletions first: deleted ids leave the mirror (their unmatching is
+    // also reported in newly_unmatched; tolerate both orders).
+    for (EdgeId e : deletions) matched.erase(e);
+    for (EdgeId e : r.newly_unmatched) matched.erase(e);
+    for (EdgeId e : r.newly_matched) matched.insert(e);
+  }
+
+  void expect_equal(const DynamicMatcher& m) {
+    const auto actual = m.matching();
+    ASSERT_EQ(matched.size(), actual.size());
+    for (EdgeId e : actual) {
+      EXPECT_TRUE(matched.count(e)) << "mirror missing matched edge " << e;
+    }
+  }
+};
+
+struct ReportParams {
+  Vertex n;
+  uint32_t rank;
+  size_t target;
+  size_t batch;
+  uint64_t seed;
+  uint64_t capacity;  // small => rebuilds exercise the journal too
+};
+
+class Reporting : public testing::TestWithParam<ReportParams> {};
+
+TEST_P(Reporting, MirrorStaysInLockstep) {
+  const auto p = GetParam();
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = p.rank;
+  cfg.seed = p.seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = p.capacity;
+  DynamicMatcher m(cfg, pool);
+
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.seed = p.seed + 1;
+  ChurnStream stream(so);
+
+  Mirror mirror;
+  for (int i = 0; i < 60; ++i) {
+    const Batch b = stream.next(p.batch);
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) {
+      const EdgeId e = m.find_edge(eps);
+      ASSERT_NE(e, kNoEdge);
+      dels.push_back(e);
+    }
+    const auto r = m.update(dels, b.insertions);
+    mirror.apply(r, dels);
+    mirror.expect_equal(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Reporting,
+    testing::Values(
+        ReportParams{40, 2, 80, 10, 1, 1 << 14},   // no rebuilds
+        ReportParams{40, 2, 80, 10, 2, 128},       // frequent rebuilds
+        ReportParams{60, 3, 120, 16, 3, 1 << 14},
+        ReportParams{60, 3, 120, 16, 4, 256},
+        ReportParams{16, 2, 64, 8, 5, 1 << 14},    // dense, heavy conflicts
+        ReportParams{100, 2, 200, 50, 6, 512},
+        ReportParams{30, 4, 60, 6, 7, 1 << 14},
+        ReportParams{30, 4, 60, 6, 8, 128}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "n" + std::to_string(p.n) + "_r" + std::to_string(p.rank) +
+             "_c" + std::to_string(p.capacity) + "_s" +
+             std::to_string(p.seed);
+    });
+
+TEST(Reporting, InsertedIdsAlignWithInput) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 256;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> ins = {{0, 1}, {0, 1}, {2, 3}};
+  const auto r = m.insert_batch(ins);
+  ASSERT_EQ(r.inserted_ids.size(), 3u);
+  EXPECT_NE(r.inserted_ids[0], kNoEdge);
+  EXPECT_EQ(r.inserted_ids[1], kNoEdge) << "within-batch duplicate";
+  EXPECT_NE(r.inserted_ids[2], kNoEdge);
+  EXPECT_EQ(m.graph().endpoints(r.inserted_ids[2])[0], 2u);
+}
+
+TEST(Reporting, WorkAndRoundsNonZeroAndMonotonic) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 4096;
+  DynamicMatcher m(cfg, pool);
+  const auto r1 = m.insert_batch(
+      std::vector<std::vector<Vertex>>{{0, 1}, {2, 3}});
+  EXPECT_GT(r1.work, 0u);
+  EXPECT_GT(r1.rounds, 0u);
+  const auto c1 = m.cost();
+  m.insert_batch(std::vector<std::vector<Vertex>>{{4, 5}});
+  EXPECT_GT(m.cost().work, c1.work);
+  EXPECT_GT(m.cost().rounds, c1.rounds);
+}
+
+TEST(Reporting, RebuildFlagSetOnlyWhenTriggered) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 8;
+  DynamicMatcher m(cfg, pool);
+  bool saw_rebuild = false;
+  for (Vertex i = 0; i < 20; ++i) {
+    const auto r = m.insert_batch(std::vector<std::vector<Vertex>>{
+        {static_cast<Vertex>(2 * i), static_cast<Vertex>(2 * i + 1)}});
+    saw_rebuild |= r.rebuilt;
+  }
+  EXPECT_TRUE(saw_rebuild);
+  EXPECT_GT(m.stats().rebuilds, 0u);
+}
+
+}  // namespace
+}  // namespace pdmm

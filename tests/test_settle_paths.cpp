@@ -1,0 +1,158 @@
+// Rare-path coverage for the settle machinery: the sequential whp-cap
+// fallback, minimal iteration budgets, eager-drain caps, and API misuse
+// death tests. All with the per-batch invariant oracle active.
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+void churn(DynamicMatcher& m, uint64_t seed, Vertex n, size_t target,
+           int batches, size_t k, double zipf = 0.7) {
+  ChurnStream::Options so;
+  so.n = n;
+  so.target_edges = target;
+  so.zipf_s = zipf;
+  so.seed = seed;
+  ChurnStream stream(so);
+  for (int i = 0; i < batches; ++i) {
+    const Batch b = stream.next(k);
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    m.update(dels, b.insertions);
+  }
+}
+
+TEST(SettleFallback, ForcedSequentialFallbackStaysCorrect) {
+  // max_settle_repeats = 0 forces the sequential random-settle fallback on
+  // every grand-random-settle; the oracle validates every batch.
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 3;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.max_settle_repeats = 0;
+  DynamicMatcher m(cfg, pool);
+  churn(m, 7, 128, 512, 40, 64);
+  EXPECT_GT(m.stats().settle_fallbacks, 0u)
+      << "fallback must have been exercised";
+  EXPECT_GT(m.stats().edges_lifted, 0u);
+}
+
+TEST(SettleFallback, FallbackMatchesHubs) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 5;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.max_settle_repeats = 0;
+  DynamicMatcher m(cfg, pool);
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 150; ++i) spokes.push_back({0, i});
+  m.insert_batch(spokes);
+  EXPECT_GE(m.vertex_level(0), 2) << "fallback settle must raise the hub";
+  EXPECT_GT(m.stats().temp_deleted, 0u);
+}
+
+TEST(SettlePaths, MinimalIterationBudget) {
+  // subsettle_iter_factor = 1 shrinks each phase to log2|E'| iterations;
+  // subsettle may need repeats but must converge.
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 11;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.subsettle_iter_factor = 1;
+  DynamicMatcher m(cfg, pool);
+  churn(m, 13, 256, 1024, 30, 128);
+  EXPECT_EQ(m.stats().settle_fallbacks, 0u);
+}
+
+TEST(SettlePaths, EagerDrainCapPath) {
+  // max_eager_sweeps = 0 makes every eager drain hit the cap path, which
+  // must still resolve undecided nodes and kicked edges (no leaks across
+  // batches); Invariant 3.5(2) checking is then skipped by the oracle.
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 17;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.max_eager_sweeps = 0;
+  DynamicMatcher m(cfg, pool);
+  churn(m, 19, 128, 512, 40, 64);
+  EXPECT_GT(m.stats().eager_cap_hits, 0u);
+}
+
+TEST(SettlePaths, SingleEagerSweep) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 3;
+  cfg.seed = 23;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.max_eager_sweeps = 1;
+  DynamicMatcher m(cfg, pool);
+  churn(m, 29, 128, 384, 30, 48);
+  SUCCEED();
+}
+
+TEST(SettlePaths, EpochStatsDisabled) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 31;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.collect_epoch_stats = false;
+  DynamicMatcher m(cfg, pool);
+  churn(m, 37, 128, 512, 20, 64);
+  uint64_t created = 0;
+  for (auto c : m.epoch_stats().created) created += c;
+  EXPECT_EQ(created, 0u) << "stats must stay untouched when disabled";
+}
+
+using SettleDeath = testing::Test;
+
+TEST(SettleDeath, DeleteAbsentEdgeAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 256;
+  DynamicMatcher m(cfg, pool);
+  m.insert_batch(std::vector<std::vector<Vertex>>{{0, 1}});
+  EXPECT_DEATH(m.delete_batch(std::vector<EdgeId>{12345}),
+               "deletion of an absent edge");
+}
+
+TEST(SettleDeath, OversizedEdgeAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 256;
+  DynamicMatcher m(cfg, pool);
+  EXPECT_DEATH(m.insert_batch(std::vector<std::vector<Vertex>>{{0, 1, 2}}),
+               "");
+}
+
+TEST(SettleDeath, DuplicateEndpointsAbort) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 256;
+  DynamicMatcher m(cfg, pool);
+  EXPECT_DEATH(m.insert_batch(std::vector<std::vector<Vertex>>{{4, 4}}),
+               "distinct");
+}
+
+}  // namespace
+}  // namespace pdmm

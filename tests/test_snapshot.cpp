@@ -1,0 +1,171 @@
+// Snapshot / restore tests: a restored matcher must be structurally
+// indistinguishable from the original (full invariant oracle) and continue
+// *bit-identically* under the same seed and update stream.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+Config snap_config(uint32_t rank = 2, uint64_t seed = 77) {
+  Config cfg;
+  cfg.max_rank = rank;
+  cfg.seed = seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 14;
+  cfg.auto_rebuild = false;  // keep the stream-long N stable in these tests
+  return cfg;
+}
+
+void drive(DynamicMatcher& m, ChurnStream& stream, int batches, size_t k) {
+  for (int i = 0; i < batches; ++i) {
+    const Batch b = stream.next(k);
+    std::vector<EdgeId> dels;
+    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+    m.update(dels, b.insertions);
+  }
+}
+
+struct SnapParams {
+  uint32_t rank;
+  Vertex n;
+  size_t target;
+  uint64_t seed;
+};
+
+class Snapshot : public testing::TestWithParam<SnapParams> {};
+
+TEST_P(Snapshot, RestoredStatePassesOracleAndMatches) {
+  const auto p = GetParam();
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(p.rank, p.seed), pool);
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.zipf_s = 0.6;  // exercise temp-deleted sets
+  so.seed = p.seed + 1;
+  ChurnStream stream(so);
+  drive(a, stream, 25, 32);
+
+  std::stringstream buf;
+  a.save(buf);
+
+  DynamicMatcher b(snap_config(p.rank, p.seed), pool);
+  b.load(buf);
+  MatchingChecker::check(b);
+  EXPECT_EQ(a.matching(), b.matching());
+  EXPECT_EQ(a.matching_size(), b.matching_size());
+  EXPECT_EQ(a.graph().num_edges(), b.graph().num_edges());
+  for (Vertex v = 0; v < p.n; ++v) {
+    EXPECT_EQ(a.vertex_level(v), b.vertex_level(v)) << "vertex " << v;
+  }
+}
+
+TEST_P(Snapshot, ContinuationIsBitIdentical) {
+  const auto p = GetParam();
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(p.rank, p.seed), pool);
+  ChurnStream::Options so;
+  so.n = p.n;
+  so.rank = p.rank;
+  so.target_edges = p.target;
+  so.zipf_s = 0.6;
+  so.seed = p.seed + 1;
+  ChurnStream stream_a(so);
+  drive(a, stream_a, 20, 32);
+
+  std::stringstream buf;
+  a.save(buf);
+  DynamicMatcher b(snap_config(p.rank, p.seed), pool);
+  b.load(buf);
+
+  // Continue both under identical batches; every intermediate state must
+  // agree exactly (ids included — the free-list order is preserved).
+  for (int i = 0; i < 15; ++i) {
+    const Batch batch = stream_a.next(32);
+    auto resolve = [](DynamicMatcher& m, const Batch& bt) {
+      std::vector<EdgeId> dels;
+      for (const auto& eps : bt.deletions) dels.push_back(m.find_edge(eps));
+      return dels;
+    };
+    const auto ra = a.update(resolve(a, batch), batch.insertions);
+    const auto rb = b.update(resolve(b, batch), batch.insertions);
+    ASSERT_EQ(ra.inserted_ids, rb.inserted_ids);
+    ASSERT_EQ(ra.newly_matched, rb.newly_matched);
+    ASSERT_EQ(ra.newly_unmatched, rb.newly_unmatched);
+    ASSERT_EQ(a.matching(), b.matching());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Snapshot,
+    testing::Values(SnapParams{2, 64, 128, 1}, SnapParams{2, 64, 128, 2},
+                    SnapParams{2, 200, 600, 3}, SnapParams{3, 80, 160, 4},
+                    SnapParams{4, 100, 150, 5}, SnapParams{2, 32, 256, 6}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) +
+             "_s" + std::to_string(p.seed);
+    });
+
+TEST(SnapshotBasic, EmptyMatcherRoundTrips) {
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(), pool);
+  std::stringstream buf;
+  a.save(buf);
+  DynamicMatcher b(snap_config(), pool);
+  b.load(buf);
+  EXPECT_EQ(b.matching_size(), 0u);
+  EXPECT_EQ(b.graph().num_edges(), 0u);
+  // And it still works afterwards.
+  b.insert_batch(std::vector<std::vector<Vertex>>{{0, 1}});
+  EXPECT_EQ(b.matching_size(), 1u);
+}
+
+TEST(SnapshotBasic, PreservesTempDeletedRelationships) {
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(2, 9), pool);
+  std::vector<std::vector<Vertex>> spokes;
+  for (Vertex i = 1; i <= 120; ++i) spokes.push_back({0, i});
+  a.insert_batch(spokes);
+
+  std::stringstream buf;
+  a.save(buf);
+  DynamicMatcher b(snap_config(2, 9), pool);
+  b.load(buf);
+  MatchingChecker::check(b);
+  size_t temp_a = 0, temp_b = 0;
+  for (EdgeId e : a.graph().all_edges()) temp_a += a.is_temp_deleted(e);
+  for (EdgeId e : b.graph().all_edges()) temp_b += b.is_temp_deleted(e);
+  EXPECT_GT(temp_a, 0u);
+  EXPECT_EQ(temp_a, temp_b);
+}
+
+TEST(SnapshotBasic, SeedMismatchRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(2, 1), pool);
+  std::stringstream buf;
+  a.save(buf);
+  DynamicMatcher b(snap_config(2, 2), pool);
+  EXPECT_DEATH(b.load(buf), "seed");
+}
+
+TEST(SnapshotBasic, RankMismatchRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(2, 1), pool);
+  std::stringstream buf;
+  a.save(buf);
+  DynamicMatcher b(snap_config(3, 1), pool);
+  EXPECT_DEATH(b.load(buf), "rank");
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -1,0 +1,94 @@
+// Trace file round-trip + replay tests for workload/trace.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/pdmm_adapter.h"
+#include "workload/trace.h"
+
+namespace pdmm {
+namespace {
+
+TEST(Trace, RoundTripPreservesBatches) {
+  ChurnStream::Options so;
+  so.n = 60;
+  so.target_edges = 120;
+  so.seed = 3;
+  ChurnStream s(so);
+  const std::vector<Batch> orig = record_stream(s, 12, 25);
+
+  std::stringstream buf;
+  write_trace(buf, orig);
+  const std::vector<Batch> back = read_trace(buf);
+
+  ASSERT_EQ(back.size(), orig.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(back[i].deletions, orig[i].deletions);
+    EXPECT_EQ(back[i].insertions, orig[i].insertions);
+  }
+}
+
+TEST(Trace, ParsesCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "i 1 2\n"
+      "i 3 4\n"
+      "b\n"
+      "# trailing batch without boundary\n"
+      "d 1 2\n");
+  const auto batches = read_trace(in);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].insertions.size(), 2u);
+  EXPECT_TRUE(batches[0].deletions.empty());
+  EXPECT_EQ(batches[1].deletions.size(), 1u);
+}
+
+TEST(Trace, EmptyBatchesPreserved) {
+  std::vector<Batch> orig(3);  // three empty batches
+  orig[1].insertions.push_back({5, 6});
+  std::stringstream buf;
+  write_trace(buf, orig);
+  const auto back = read_trace(buf);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[0].insertions.empty() && back[0].deletions.empty());
+  EXPECT_EQ(back[1].insertions.size(), 1u);
+}
+
+TEST(Trace, ReplayedTraceGivesIdenticalMatching) {
+  ChurnStream::Options so;
+  so.n = 80;
+  so.target_edges = 160;
+  so.seed = 9;
+  ChurnStream s(so);
+  const std::vector<Batch> trace = record_stream(s, 15, 30);
+
+  auto run = [&](const std::vector<Batch>& batches) {
+    ThreadPool pool(1);
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = 1;
+    cfg.initial_capacity = 1 << 12;
+    PdmmAdapter m(cfg, pool);
+    for (const Batch& b : batches) apply_batch(m, b);
+    return m.matcher().matching();
+  };
+
+  std::stringstream buf;
+  write_trace(buf, trace);
+  const auto direct = run(trace);
+  const auto replayed = run(read_trace(buf));
+  EXPECT_EQ(direct, replayed);
+}
+
+TEST(Trace, HyperedgeOps) {
+  std::stringstream in("i 1 2 3 4\nd 9 8 7\nb\n");
+  const auto batches = read_trace(in);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].insertions[0],
+            (std::vector<Vertex>{1, 2, 3, 4}));
+  EXPECT_EQ(batches[0].deletions[0], (std::vector<Vertex>{9, 8, 7}));
+}
+
+}  // namespace
+}  // namespace pdmm

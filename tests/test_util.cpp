@@ -1,0 +1,220 @@
+// Unit tests for src/util: bit helpers, RNGs, flat map, IndexedSet, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/bits.h"
+#include "util/flat_map.h"
+#include "util/indexed_set.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pdmm {
+namespace {
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+TEST(Bits, LogCeilBase) {
+  EXPECT_EQ(log_ceil(8, 1), 0u);
+  EXPECT_EQ(log_ceil(8, 8), 1u);
+  EXPECT_EQ(log_ceil(8, 9), 2u);
+  EXPECT_EQ(log_ceil(8, 64), 2u);
+  EXPECT_EQ(log_ceil(8, 65), 3u);
+  EXPECT_EQ(log_ceil(4, 1 << 20), 10u);
+}
+
+TEST(Bits, IpowSat) {
+  EXPECT_EQ(ipow_sat(8, 0), 1u);
+  EXPECT_EQ(ipow_sat(8, 3), 512u);
+  EXPECT_EQ(ipow_sat(2, 63), uint64_t{1} << 63);
+  EXPECT_EQ(ipow_sat(10, 30), ~uint64_t{0});  // saturation
+}
+
+TEST(Rng, SplitmixDistinct) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, XoshiroBelowIsUnbiasedEnough) {
+  Xoshiro256 rng(42);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) buckets[rng.below(10)]++;
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, XoshiroUniformRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, IndexedRngDeterministic) {
+  IndexedRng a(5), b(5), c(6);
+  EXPECT_EQ(a.raw(1, 2), b.raw(1, 2));
+  EXPECT_NE(a.raw(1, 2), c.raw(1, 2));
+  EXPECT_NE(a.raw(1, 2), a.raw(1, 3));
+  EXPECT_NE(a.raw(1, 2), a.raw(2, 2));
+}
+
+TEST(Rng, IndexedBernoulliRate) {
+  IndexedRng rng(11);
+  int hits = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(3, i, 0.3);
+  EXPECT_NEAR(hits, kDraws * 0.3, kDraws * 0.01);
+}
+
+TEST(Rng, ZipfSkewsTowardsSmallRanks) {
+  Xoshiro256 rng(3);
+  ZipfSampler zipf(1000, 1.0);
+  uint64_t small = 0, total = 100000;
+  for (uint64_t i = 0; i < total; ++i) small += zipf(rng) < 10;
+  // With s=1 the first 10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(small, total / 10);
+}
+
+TEST(Rng, ZipfZeroIsUniform) {
+  Xoshiro256 rng(3);
+  ZipfSampler zipf(100, 0.0);
+  std::vector<int> buckets(100, 0);
+  for (int i = 0; i < 100000; ++i) buckets[zipf(rng)]++;
+  for (int b : buckets) EXPECT_NEAR(b, 1000, 300);
+}
+
+TEST(FlatPosMap, InsertFindErase) {
+  FlatPosMap<uint32_t> m;
+  EXPECT_TRUE(m.empty());
+  m.insert(5, 50);
+  m.insert(7, 70);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50u);
+  EXPECT_EQ(*m.find(7), 70u);
+  EXPECT_EQ(m.find(6), nullptr);
+  m.erase(5);
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(7), 70u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatPosMap, MatchesUnorderedMapUnderChurn) {
+  FlatPosMap<uint32_t> m;
+  std::unordered_map<uint32_t, uint32_t> ref;
+  Xoshiro256 rng(9);
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t k = static_cast<uint32_t>(rng.below(500));
+    if (rng.uniform() < 0.5) {
+      if (!ref.count(k)) {
+        m.insert(k, k * 3);
+        ref[k] = k * 3;
+      }
+    } else if (ref.count(k)) {
+      m.erase(k);
+      ref.erase(k);
+    }
+    if (op % 512 == 0) {
+      EXPECT_EQ(m.size(), ref.size());
+      for (const auto& [key, val] : ref) {
+        ASSERT_NE(m.find(key), nullptr);
+        EXPECT_EQ(*m.find(key), val);
+      }
+    }
+  }
+}
+
+TEST(IndexedSet, BasicOps) {
+  IndexedSet s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.at(0), 9u);
+}
+
+TEST(IndexedSet, MatchesUnorderedSetUnderChurn) {
+  IndexedSet s;
+  std::unordered_set<uint32_t> ref;
+  Xoshiro256 rng(13);
+  for (int op = 0; op < 30000; ++op) {
+    const uint32_t k = static_cast<uint32_t>(rng.below(300));
+    if (rng.uniform() < 0.55) {
+      EXPECT_EQ(s.insert(k), ref.insert(k).second);
+    } else {
+      EXPECT_EQ(s.erase(k), ref.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  for (uint32_t k : ref) EXPECT_TRUE(s.contains(k));
+}
+
+TEST(IndexedSet, SamplingHitsAllMembers) {
+  IndexedSet s;
+  for (uint32_t i = 0; i < 10; ++i) s.insert(i * 11);
+  std::set<uint32_t> seen;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) seen.insert(s.sample(rng()));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, Percentiles) {
+  PercentileStats p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.percentile(99), 99.01, 0.5);
+  EXPECT_DOUBLE_EQ(p.max(), 100.0);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1, 5);
+  h.add(99);  // clamps to last bucket
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.at(1), 5u);
+  EXPECT_EQ(h.at(3), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+}  // namespace
+}  // namespace pdmm

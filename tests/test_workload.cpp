@@ -1,0 +1,156 @@
+// Tests of the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/pdmm_adapter.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+TEST(ChurnStream, GrowsToTargetThenChurns) {
+  ChurnStream::Options opt;
+  opt.n = 100;
+  opt.target_edges = 200;
+  opt.seed = 1;
+  ChurnStream s(opt);
+  // Warm-up: first batches are insert-only.
+  Batch b = s.next(50);
+  EXPECT_EQ(b.insertions.size(), 50u);
+  EXPECT_TRUE(b.deletions.empty());
+  size_t total = 50;
+  while (total < 1000) {
+    b = s.next(50);
+    total += 50;
+  }
+  // At steady state both kinds appear and live size hugs the target.
+  b = s.next(200);
+  EXPECT_GT(b.deletions.size(), 0u);
+  EXPECT_GT(b.insertions.size(), 0u);
+  EXPECT_NEAR(static_cast<double>(s.live().size()), 200.0, 40.0);
+}
+
+TEST(ChurnStream, NeverDuplicatesLiveEdges) {
+  ChurnStream::Options opt;
+  opt.n = 30;  // tiny universe forces collisions
+  opt.target_edges = 100;
+  opt.seed = 2;
+  ChurnStream s(opt);
+  std::set<std::vector<Vertex>> live;
+  for (int i = 0; i < 60; ++i) {
+    const Batch b = s.next(20);
+    for (const auto& eps : b.deletions) {
+      ASSERT_EQ(live.count(eps), 1u);
+      live.erase(eps);
+    }
+    for (const auto& eps : b.insertions) {
+      ASSERT_EQ(live.count(eps), 0u);
+      live.insert(eps);
+    }
+  }
+  EXPECT_EQ(live.size(), s.live().size());
+}
+
+TEST(ChurnStream, ZipfSkewProducesHubs) {
+  ChurnStream::Options opt;
+  opt.n = 1000;
+  opt.target_edges = 2000;
+  opt.zipf_s = 1.1;
+  opt.seed = 3;
+  ChurnStream s(opt);
+  std::vector<int> degree(opt.n, 0);
+  for (int i = 0; i < 40; ++i) {
+    for (const auto& eps : s.next(50).insertions)
+      for (Vertex v : eps) degree[v]++;
+  }
+  // Top-10 vertices should absorb a large share of endpoints.
+  std::sort(degree.rbegin(), degree.rend());
+  int top = 0, total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    total += degree[i];
+    if (i < 10) top += degree[i];
+  }
+  EXPECT_GT(top * 5, total) << "zipf skew should concentrate degrees";
+}
+
+TEST(SlidingWindow, MaintainsExactWindow) {
+  SlidingWindowStream::Options opt;
+  opt.n = 200;
+  opt.window = 100;
+  opt.seed = 4;
+  SlidingWindowStream s(opt);
+  size_t inserted = 0, deleted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Batch b = s.next(25);
+    inserted += b.insertions.size();
+    deleted += b.deletions.size();
+    EXPECT_EQ(s.live().size(), inserted - deleted);
+    EXPECT_LE(s.live().size(), opt.window);
+  }
+  EXPECT_EQ(s.live().size(), opt.window);
+  EXPECT_EQ(inserted, 750u);
+  EXPECT_EQ(deleted, 650u);
+}
+
+TEST(SlidingWindow, DeletesOldestFirst) {
+  SlidingWindowStream::Options opt;
+  opt.n = 500;
+  opt.window = 10;
+  opt.seed = 5;
+  SlidingWindowStream s(opt);
+  const Batch first = s.next(10);  // fills the window exactly
+  EXPECT_TRUE(first.deletions.empty());
+  const Batch second = s.next(10);
+  ASSERT_EQ(second.deletions.size(), 10u);
+  // The deletions of the second batch are exactly the first batch's inserts.
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(second.deletions[i], first.insertions[i]);
+}
+
+TEST(Adversarial, DeletesOnlyMatchedEdges) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 1 << 12;
+  cfg.check_invariants = true;
+  PdmmAdapter m(cfg, pool);
+
+  AdversarialMatchedDeleter::Options opt;
+  opt.n = 100;
+  opt.seed = 6;
+  AdversarialMatchedDeleter adv(opt);
+
+  // Grow the graph through the adversary so its mirror stays in sync
+  // (early batches find few or no matched edges to delete).
+  for (int i = 0; i < 10; ++i) apply_batch(m, adv.next(m, 20));
+
+  for (int round = 0; round < 10; ++round) {
+    const Batch b = adv.next(m, 5);
+    for (const auto& eps : b.deletions) {
+      const EdgeId e = m.graph().find(eps);
+      ASSERT_NE(e, kNoEdge);
+      EXPECT_TRUE(m.is_matched(e)) << "adversary must target matched edges";
+    }
+    apply_batch(m, b);
+  }
+}
+
+TEST(ApplyBatch, ResolvesAndApplies) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 256;
+  PdmmAdapter m(cfg, pool);
+  Batch b;
+  b.insertions = {{0, 1}, {2, 3}};
+  auto ids = apply_batch(m, b);
+  ASSERT_EQ(ids.size(), 2u);
+  Batch d;
+  d.deletions = {{1, 0}};  // unordered endpoints resolve canonically
+  apply_batch(m, d);
+  EXPECT_EQ(m.graph().num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -207,6 +207,14 @@ class DynamicMatcher {
                            std::vector<EdgeId>& e_prime);
   void sequential_settle_fallback(Level l, const std::vector<Vertex>& b);
   void random_settle_single(Vertex v, Level l);
+  // Kicks the matched edges (other than `keep`) of keep's endpoints out of
+  // M, queues them for reinsertion, and appends them to `kicked`. Shared by
+  // the parallel lift and the sequential random-settle so the two paths
+  // cannot diverge again.
+  void kick_conflicting_matches(EdgeId keep, std::vector<EdgeId>& kicked);
+  // Adds e to M at level l — or, when e is already matched and merely rises
+  // with its endpoints, restarts its epoch accounting at l.
+  void lift_edge(EdgeId e, Level l);
   // Eager mode: alternate settle sweeps with reinsertion of the edges those
   // sweeps kicked, until no residue remains (bounded by max_eager_sweeps).
   void drain_eager();

@@ -38,6 +38,41 @@ void DynamicMatcher::refresh_settle_sets(Level l, std::vector<Vertex>& b,
   cost_.round(b.size() + e_prime.size());
 }
 
+void DynamicMatcher::kick_conflicting_matches(EdgeId keep,
+                                              std::vector<EdgeId>& kicked) {
+  for (Vertex u : reg_.endpoints(keep)) {
+    const EdgeId m = verts_[u].matched;
+    if (m == kNoEdge || m == keep) continue;
+    // Kicking clears `matched` on every endpoint of m, so a second
+    // encounter of m (via another endpoint, or another lifted edge in the
+    // same batch) falls through the kNoEdge check — no dedup set needed.
+    set_unmatched(m, /*natural=*/false);
+    remove_edge_from_structures(m);
+    dissolve_d(m);
+    reinsert_queue_.push_back(m);
+    ++stats_.edges_kicked;
+    kicked.push_back(m);
+  }
+}
+
+void DynamicMatcher::lift_edge(EdgeId e, Level l) {
+  if (eflags_[e] & kMatched) {
+    // e was already in M (it can sit in E' as the matched edge of a rising
+    // vertex): it merely rises to level l. The level-l accounting period
+    // starts fresh; the physical matching membership continues.
+    if (cfg_.collect_epoch_stats) {
+      epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
+      epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
+          epoch_d_deleted_[e];
+      epochs_.created[static_cast<size_t>(l)]++;
+    }
+    epoch_d_deleted_[e] = 0;
+  } else {
+    set_matched(e, l);
+  }
+  ++stats_.edges_lifted;
+}
+
 void DynamicMatcher::grand_random_settle(Level l) {
   std::vector<Vertex> b(s_[static_cast<size_t>(l)].items().begin(),
                         s_[static_cast<size_t>(l)].items().end());
@@ -135,44 +170,18 @@ size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
   // most one of them.
   FlatPosMap<uint32_t> lifted_at;  // vertex -> lifted edge covering it
   std::vector<EdgeId> kicked;
-  FlatPosMap<uint32_t> kicked_set;
   for (EdgeId e : lifted) {
-    for (Vertex u : reg_.endpoints(e)) {
-      lifted_at.insert(u, e);
-      const EdgeId m = verts_[u].matched;
-      if (m != kNoEdge && m != e && !kicked_set.contains(m)) {
-        kicked_set.insert(m, 1);
-        kicked.push_back(m);
-      }
-    }
+    for (Vertex u : reg_.endpoints(e)) lifted_at.insert(u, e);
+    kick_conflicting_matches(e, kicked);
   }
-  for (EdgeId m : kicked) {
-    set_unmatched(m, /*natural=*/false);
-    remove_edge_from_structures(m);
-    dissolve_d(m);
-    reinsert_queue_.push_back(m);
-    ++stats_.edges_kicked;
-  }
+  FlatPosMap<uint32_t> kicked_set;
+  for (EdgeId m : kicked) kicked_set.insert(m, 1);
   cost_.round(lifted.size() * reg_.max_rank() + kicked.size());
 
   // Add lifted edges to M at level l and raise their endpoints.
   std::vector<LevelMove> moves;
   for (EdgeId e : lifted) {
-    if (eflags_[e] & kMatched) {
-      // e was already in M (it can sit in E' as the matched edge of a
-      // B-vertex): it merely rises to level l. The level-l accounting
-      // period starts fresh; the physical matching membership continues.
-      if (cfg_.collect_epoch_stats) {
-        epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
-        epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
-            epoch_d_deleted_[e];
-        epochs_.created[static_cast<size_t>(l)]++;
-      }
-      epoch_d_deleted_[e] = 0;
-    } else {
-      set_matched(e, l);
-    }
-    ++stats_.edges_lifted;
+    lift_edge(e, l);
     for (Vertex u : reg_.endpoints(e)) moves.push_back({u, l});
   }
   apply_level_moves(std::move(moves));
@@ -210,66 +219,42 @@ void DynamicMatcher::sequential_settle_fallback(
 }
 
 void DynamicMatcher::random_settle_single(Vertex v, Level l) {
-  // random-settle(v, l) of §3.3.2 (sequential setting): raise v to l so it
-  // owns O~(v, l), sample one owned edge uniformly, match it at level l,
-  // and temporarily delete the rest of O(v) into D(e).
+  // random-settle(v, l) of §3.3.2 (sequential setting): v rises to l and
+  // takes ownership of O~(v, l); one of those edges is sampled uniformly
+  // and matched at level l, and the rest of O~(v, l) is temporarily
+  // deleted into D(e).
   //
-  // v rises *before* it gets matched (unlike the parallel lift path, which
-  // matches first); if v is currently undecided its entry sits at the old
-  // level and must be retired here — it is matched a few lines below, since
-  // the sampled edge always contains v.
-  if (verts_[v].matched == kNoEdge && verts_[v].level >= 0) {
-    undecided_[static_cast<size_t>(verts_[v].level)].erase(v);
-  }
-  apply_level_moves({{v, l}});
-  const IndexedSet& owned = verts_[v].owned;
-  PDMM_ASSERT(!owned.empty());
+  // Ordering mirrors the parallel lift path (subsubsettle): matched edges
+  // of the sampled edge's endpoints — including v's own matched edge when
+  // v deserts it — are kicked and removed from the structures *before* any
+  // level move, and v rises together with the other endpoints of e in one
+  // batch. Every apply_level_moves call therefore sees each surviving
+  // matched edge with all endpoints moving to the same level; raising v
+  // alone first (while still matched below l) breaks exactly that.
+  std::vector<EdgeId> candidates = collect_o_tilde(v, l);
+  PDMM_ASSERT(!candidates.empty());
+  std::sort(candidates.begin(), candidates.end());
   ++settle_counter_;
-  const EdgeId e =
-      owned.sample(rng_.raw(settle_rng_stream(), 0x5e771eULL + v));
+  const EdgeId e = candidates[rng_.below(settle_rng_stream(),
+                                         0x5e771eULL + v,
+                                         candidates.size())];
 
   std::vector<EdgeId> kicked;
-  for (Vertex u : reg_.endpoints(e)) {
-    const EdgeId m = verts_[u].matched;
-    if (m != kNoEdge && m != e &&
-        std::find(kicked.begin(), kicked.end(), m) == kicked.end()) {
-      kicked.push_back(m);
-    }
-  }
-  for (EdgeId m : kicked) {
-    set_unmatched(m, /*natural=*/false);
-    remove_edge_from_structures(m);
-    dissolve_d(m);
-    reinsert_queue_.push_back(m);
-    ++stats_.edges_kicked;
-  }
-
-  if (eflags_[e] & kMatched) {
-    if (cfg_.collect_epoch_stats) {
-      epochs_.ended_induced[static_cast<size_t>(elevel_[e])]++;
-      epochs_.d_budget_consumed[static_cast<size_t>(elevel_[e])] +=
-          epoch_d_deleted_[e];
-      epochs_.created[static_cast<size_t>(l)]++;
-    }
-    epoch_d_deleted_[e] = 0;
-  } else {
-    set_matched(e, l);
-  }
-  ++stats_.edges_lifted;
+  kick_conflicting_matches(e, kicked);
+  lift_edge(e, l);
 
   std::vector<LevelMove> moves;
-  for (Vertex u : reg_.endpoints(e)) {
-    if (u != v) moves.push_back({u, l});
-  }
+  for (Vertex u : reg_.endpoints(e)) moves.push_back({u, l});
   apply_level_moves(std::move(moves));
 
-  // D(e) <- all other edges v owns.
-  const std::vector<EdgeId> to_delete(owned.items().begin(),
-                                      owned.items().end());
-  for (EdgeId f : to_delete) {
-    if (f != e && !(eflags_[f] & kMatched)) temp_delete(f, e);
+  // D(e) <- the rest of O~(v, l). Kicked edges are already out of the
+  // structures (queued for reinsertion), so they must not be re-deleted.
+  for (EdgeId f : candidates) {
+    if (f == e || (eflags_[f] & kMatched)) continue;
+    if (std::find(kicked.begin(), kicked.end(), f) != kicked.end()) continue;
+    temp_delete(f, e);
   }
-  cost_.round(to_delete.size());
+  cost_.round(candidates.size());
 }
 
 }  // namespace pdmm

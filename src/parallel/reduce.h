@@ -1,9 +1,9 @@
 // Parallel reductions (sum, max, logical-or) over index ranges.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <mutex>
-#include <vector>
+#include <memory>
 
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -18,7 +18,11 @@ T parallel_reduce(ThreadPool& pool, size_t n, T identity, F&& f, Op&& op,
                   size_t grain = kDefaultGrain) {
   if (n == 0) return identity;
   const size_t num_blocks = (n + grain - 1) / grain;
-  std::vector<T> partials(num_blocks, identity);
+  // A plain array, not std::vector<T>: vector<bool> bit-packs, so adjacent
+  // partial slots would share a word and the concurrent per-block writes
+  // below would race.
+  std::unique_ptr<T[]> partials(new T[num_blocks]);
+  std::fill_n(partials.get(), num_blocks, identity);
   parallel_for_blocked(
       pool, n,
       [&](size_t b, size_t e) {
@@ -28,7 +32,7 @@ T parallel_reduce(ThreadPool& pool, size_t n, T identity, F&& f, Op&& op,
       },
       grain);
   T acc = identity;
-  for (const T& p : partials) acc = op(acc, p);
+  for (size_t i = 0; i < num_blocks; ++i) acc = op(acc, partials[i]);
   return acc;
 }
 

@@ -4,7 +4,10 @@
 // matched-targeting deletions).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "baselines/greedy_dynamic.h"
+#include "param_name.h"
 #include "baselines/sequential_dynamic.h"
 #include "core/matcher.h"
 #include "workload/generators.h"
@@ -22,9 +25,8 @@ struct BaseParams {
 
 std::string base_name(const testing::TestParamInfo<BaseParams>& info) {
   const auto& p = info.param;
-  return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) + "_m" +
-         std::to_string(p.target) + "_s" + std::to_string(p.seed) +
-         (p.zipf > 0 ? "_zipf" : "_unif");
+  return testing_util::name_cat("r", p.rank, "_n", p.n, "_m", p.target, "_s",
+                                p.seed, p.zipf > 0 ? "_zipf" : "_unif");
 }
 
 class SequentialSweep : public testing::TestWithParam<BaseParams> {};

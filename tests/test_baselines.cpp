@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "baselines/greedy_dynamic.h"
 #include "baselines/pdmm_adapter.h"
 #include "baselines/sequential_dynamic.h"
 #include "baselines/static_recompute.h"
 #include "core/checker.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -161,7 +163,7 @@ TEST_P(CrossValidation, FourImplementationsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation, testing::Values(1, 2, 3, 4),
                          [](const auto& info) {
-                           return "s" + std::to_string(info.param);
+                           return testing_util::name_cat("s", info.param);
                          });
 
 // EdgeId assignment must be identical across implementations (all share the

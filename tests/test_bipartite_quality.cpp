@@ -3,7 +3,10 @@
 // guarantee is |maximal| >= |maximum| / 2 (paper §2 with r = 2).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/matcher.h"
+#include "param_name.h"
 #include "static_mm/exact.h"
 #include "static_mm/hopcroft_karp.h"
 #include "util/rng.h"
@@ -118,8 +121,8 @@ INSTANTIATE_TEST_SUITE_P(
                     BipQualityParams{200, 200, 300, 5}),  // sparse
     [](const auto& info) {
       const auto& p = info.param;
-      return "l" + std::to_string(p.nl) + "_r" + std::to_string(p.nr) +
-             "_m" + std::to_string(p.m) + "_s" + std::to_string(p.seed);
+      return testing_util::name_cat("l", p.nl, "_r", p.nr, "_m", p.m, "_s",
+                                    p.seed);
     });
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/checker.h"
+#include "param_name.h"
 #include "core/matcher.h"
 #include "workload/generators.h"
 
@@ -24,15 +25,10 @@ struct MatrixParams {
 
 std::string matrix_name(const testing::TestParamInfo<MatrixParams>& info) {
   const auto& p = info.param;
-  std::string s = p.eager ? "eager" : "lazy";
-  s += "_if" + std::to_string(p.iter_factor);
-  s += "_mr" + std::to_string(p.max_repeats);
-  s += "_me" + std::to_string(p.max_eager);
-  s += p.auto_rebuild ? "_rb" : "_norb";
-  s += "_r" + std::to_string(p.rank);
-  s += "_t" + std::to_string(p.threads);
-  s += "_s" + std::to_string(p.seed);
-  return s;
+  return testing_util::name_cat(
+      p.eager ? "eager" : "lazy", "_if", p.iter_factor, "_mr", p.max_repeats,
+      "_me", p.max_eager, p.auto_rebuild ? "_rb" : "_norb", "_r", p.rank,
+      "_t", p.threads, "_s", p.seed);
 }
 
 class ConfigMatrix : public testing::TestWithParam<MatrixParams> {};
@@ -71,7 +67,9 @@ TEST_P(ConfigMatrix, ChurnStaysSound) {
     m.update(dels, b.insertions);
     ASSERT_EQ(m.graph().num_edges(), stream.live().size());
   }
-  if (p.auto_rebuild) EXPECT_GT(m.stats().rebuilds, 0u);
+  if (p.auto_rebuild) {
+    EXPECT_GT(m.stats().rebuilds, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

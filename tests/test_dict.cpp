@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dict/phase_dict.h"
+#include "param_name.h"
 #include "parallel/thread_pool.h"
 #include "util/rng.h"
 
@@ -99,7 +100,7 @@ TEST_P(PhaseDictParallel, BatchOpsMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, PhaseDictParallel,
                          testing::Values(1u, 2u, 8u), [](const auto& info) {
-                           return "t" + std::to_string(info.param);
+                           return testing_util::name_cat("t", info.param);
                          });
 
 TEST(PhaseDict, ParallelInsertStress) {

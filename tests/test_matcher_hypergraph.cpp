@@ -4,6 +4,7 @@
 
 #include "core/checker.h"
 #include "core/matcher.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -62,7 +63,9 @@ TEST(MatcherHyper, HubOfTriplesChurn) {
     const EdgeId me = m.matched_edge_of(0);
     ASSERT_NE(me, kNoEdge);
     m.delete_batch(std::vector<EdgeId>{me});
-    if (m.graph().num_edges() > 0) EXPECT_EQ(m.matching_size(), 1u);
+    if (m.graph().num_edges() > 0) {
+      EXPECT_EQ(m.matching_size(), 1u);
+    }
   }
 }
 
@@ -109,8 +112,7 @@ INSTANTIATE_TEST_SUITE_P(
                     HyperFuzz{3, 400, 800, 64, 7}, HyperFuzz{4, 30, 200, 16, 8}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) + "_s" +
-             std::to_string(p.seed);
+      return testing_util::name_cat("r", p.rank, "_n", p.n, "_s", p.seed);
     });
 
 // Matching size is always at least 1/r of maximum matching; on a disjoint

@@ -11,6 +11,7 @@
 
 #include "core/checker.h"
 #include "core/matcher.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -28,10 +29,9 @@ struct FuzzParams {
 
 std::string param_name(const testing::TestParamInfo<FuzzParams>& info) {
   const FuzzParams& p = info.param;
-  return "n" + std::to_string(p.n) + "_r" + std::to_string(p.rank) + "_m" +
-         std::to_string(p.target_edges) + "_b" + std::to_string(p.batch) +
-         "_s" + std::to_string(p.seed) + (p.eager ? "_eager" : "_lazy") +
-         "_t" + std::to_string(p.threads);
+  return testing_util::name_cat("n", p.n, "_r", p.rank, "_m", p.target_edges,
+                                "_b", p.batch, "_s", p.seed,
+                                p.eager ? "_eager" : "_lazy", "_t", p.threads);
 }
 
 class MatcherFuzz : public testing::TestWithParam<FuzzParams> {};

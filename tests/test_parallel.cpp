@@ -7,6 +7,7 @@
 
 #include "dict/batch_ops.h"
 #include "parallel/pack.h"
+#include "param_name.h"
 #include "parallel/parallel_for.h"
 #include "parallel/reduce.h"
 #include "parallel/scan.h"
@@ -116,7 +117,7 @@ TEST_P(ParallelAcrossThreads, ApplyGroupedPartitionsByKey) {
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelAcrossThreads,
                          testing::Values(1u, 2u, 4u, 8u),
                          [](const auto& info) {
-                           return "t" + std::to_string(info.param);
+                           return testing_util::name_cat("t", info.param);
                          });
 
 TEST(ThreadPool, NestedParallelismRunsSerially) {

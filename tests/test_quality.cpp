@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/matcher.h"
+#include "param_name.h"
 #include "static_mm/exact.h"
 #include "static_mm/luby.h"
 #include "util/rng.h"
@@ -104,8 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                     QualityParams{40, 60, 2, 9}, QualityParams{10, 30, 2, 10}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "n" + std::to_string(p.n) + "_m" + std::to_string(p.m) + "_r" +
-             std::to_string(p.r) + "_s" + std::to_string(p.seed);
+      return testing_util::name_cat("n", p.n, "_m", p.m, "_r", p.r, "_s",
+                                    p.seed);
     });
 
 TEST(ExactSolver, KnownValues) {

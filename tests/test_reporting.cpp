@@ -7,6 +7,7 @@
 #include <set>
 
 #include "core/matcher.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -89,9 +90,8 @@ INSTANTIATE_TEST_SUITE_P(
         ReportParams{30, 4, 60, 6, 8, 128}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "n" + std::to_string(p.n) + "_r" + std::to_string(p.rank) +
-             "_c" + std::to_string(p.capacity) + "_s" +
-             std::to_string(p.seed);
+      return testing_util::name_cat("n", p.n, "_r", p.rank, "_c", p.capacity,
+                                    "_s", p.seed);
     });
 
 TEST(Reporting, InsertedIdsAlignWithInput) {

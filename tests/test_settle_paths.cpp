@@ -3,8 +3,14 @@
 // death tests. All with the per-batch invariant oracle active.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "core/checker.h"
 #include "core/matcher.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -58,6 +64,49 @@ TEST(SettleFallback, FallbackMatchesHubs) {
   EXPECT_GE(m.vertex_level(0), 2) << "fallback settle must raise the hub";
   EXPECT_GT(m.stats().temp_deleted, 0u);
 }
+
+// Regression matrix for the sequential-fallback leveling bug: a rising
+// S_l vertex that is already matched must kick its old matched edge
+// *before* any level move, or the matched-edge level invariant breaks
+// (historically: PDMM_DASSERT(verts_[u].level == maxl) fired in
+// apply_level_moves). Pin the path across seeds and thread counts with the
+// full invariant oracle active, and cross-check that the matching is
+// identical to the single-thread run (randomness is stateless, so a fixed
+// seed must be schedule-independent).
+class SettleFallbackMatrix
+    : public testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(SettleFallbackMatrix, ForcedFallbackHoldsInvariants) {
+  const auto [seed, threads] = GetParam();
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = seed;
+  cfg.check_invariants = true;
+  cfg.initial_capacity = 1 << 16;
+  cfg.max_settle_repeats = 0;
+
+  ThreadPool pool(threads);
+  DynamicMatcher m(cfg, pool);
+  churn(m, /*seed=*/seed ^ 0xfa11bacc, 128, 512, 30, 64);
+  EXPECT_GT(m.stats().settle_fallbacks, 0u)
+      << "fallback must have been exercised";
+  EXPECT_GT(m.stats().edges_lifted, 0u);
+
+  ThreadPool ref_pool(1);
+  DynamicMatcher ref(cfg, ref_pool);
+  churn(ref, /*seed=*/seed ^ 0xfa11bacc, 128, 512, 30, 64);
+  EXPECT_EQ(m.matching(), ref.matching())
+      << "fixed-seed run must be deterministic across thread counts";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, SettleFallbackMatrix,
+    testing::Combine(testing::Values(uint64_t{3}, uint64_t{41}, uint64_t{97}),
+                     testing::Values(1u, 2u, 4u)),
+    [](const testing::TestParamInfo<SettleFallbackMatrix::ParamType>& info) {
+      return testing_util::name_cat("seed", std::get<0>(info.param), "_t",
+                                    std::get<1>(info.param));
+    });
 
 TEST(SettlePaths, MinimalIterationBudget) {
   // subsettle_iter_factor = 1 shrinks each phase to log2|E'| iterations;

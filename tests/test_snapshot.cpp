@@ -7,6 +7,7 @@
 
 #include "core/checker.h"
 #include "core/matcher.h"
+#include "param_name.h"
 #include "workload/generators.h"
 
 namespace pdmm {
@@ -110,8 +111,7 @@ INSTANTIATE_TEST_SUITE_P(
                     SnapParams{4, 100, 150, 5}, SnapParams{2, 32, 256, 6}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "r" + std::to_string(p.rank) + "_n" + std::to_string(p.n) +
-             "_s" + std::to_string(p.seed);
+      return testing_util::name_cat("r", p.rank, "_n", p.n, "_s", p.seed);
     });
 
 TEST(SnapshotBasic, EmptyMatcherRoundTrips) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/checker.h"
+#include "param_name.h"
 #include "parallel/thread_pool.h"
 #include "static_mm/luby.h"
 #include "util/rng.h"
@@ -66,9 +67,8 @@ INSTANTIATE_TEST_SUITE_P(
                     MMParams{5000, 50000, 3, 9, 4}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "n" + std::to_string(p.n) + "_m" + std::to_string(p.m) + "_r" +
-             std::to_string(p.r) + "_s" + std::to_string(p.seed) + "_t" +
-             std::to_string(p.threads);
+      return testing_util::name_cat("n", p.n, "_m", p.m, "_r", p.r, "_s",
+                                    p.seed, "_t", p.threads);
     });
 
 TEST(StaticMMBasic, EmptyInput) {

@@ -1,9 +1,10 @@
 // pdmm_trace: command-line driver that generates, records and replays
-// update traces against any of the four matcher implementations.
+// update traces against any of the four matcher implementations. Traces
+// travel over stdout / stdin so runs compose with shell pipelines.
 //
-//   pdmm_trace --mode=generate --kind=churn --n=4096 --batches=100 \
-//              --batch_size=256 --out=trace.txt
-//   pdmm_trace --mode=replay --impl=pdmm --in=trace.txt [--rank=2]
+//   pdmm_trace --mode=generate --n=4096 --batches=100 --batch_size=256
+//       > trace.txt                  # add --zipf_s=0.8 or --window
+//   pdmm_trace --mode=replay --impl=pdmm --rank=2 < trace.txt
 //
 // Replay prints one line per batch (matching size, rounds, work) and a
 // final summary — handy for comparing implementations on a fixed workload
@@ -25,7 +26,6 @@ using namespace pdmm;
 namespace {
 
 int generate(ArgParse& args) {
-  const std::string kind = args.get_bool("zipf", false) ? "zipf" : "churn";
   const uint64_t n = args.get_u64("n", 1 << 12);
   const uint64_t rank = args.get_u64("rank", 2);
   const uint64_t target = args.get_u64("target_edges", 2 * n);
@@ -35,6 +35,7 @@ int generate(ArgParse& args) {
   const double zipf_s = args.get_double("zipf_s", 0.0);
   const bool window = args.get_bool("window", false);
   args.finish();
+  const char* kind = window ? "window" : (zipf_s > 0 ? "zipf" : "churn");
 
   std::vector<Batch> trace;
   if (window) {

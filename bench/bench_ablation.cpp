@@ -6,65 +6,69 @@
 //    risk extra subsettle repeats, more iterations waste marking rounds.
 // Output: work/update and rounds/batch per configuration on one stream.
 #include "bench_common.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
-
+namespace pdmm::bench {
 namespace {
 
-void run_config(const char* label, bool eager, uint32_t iter_factor,
-                Vertex n, size_t batches) {
-  ThreadPool pool(1);
-  Config cfg;
-  cfg.max_rank = 2;
-  cfg.seed = 123;
-  cfg.initial_capacity = 1ull << 22;
-  cfg.auto_rebuild = false;
-  cfg.settle_after_insertions = eager;
-  cfg.subsettle_iter_factor = iter_factor;
-  DynamicMatcher m(cfg, pool);
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 12, 1 << 9);
+  const uint64_t batches = ctx.u64("batches", 60, 6);
 
-  ChurnStream::Options so;
-  so.n = n;
-  so.target_edges = 3 * static_cast<size_t>(n);
-  so.zipf_s = 0.7;  // skew creates rising work for the settle machinery
-  so.seed = 55;
-  ChurnStream stream(so);
-  bench::warm(m, stream, 3 * so.target_edges, 1024);
+  struct Knobs {
+    bool eager;
+    uint32_t iter_factor;
+  };
+  const std::vector<Knobs> configs = {
+      {true, 2}, {false, 2}, {true, 1}, {true, 4}, {false, 1}};
 
-  const auto r = bench::drive(m, stream, batches, 256);
-  const auto& st = m.stats();
-  bench::row("%-22s %10.1f %10.1f %9llu %9llu %11llu %6llu", label,
-             static_cast<double>(r.work) /
-                 static_cast<double>(std::max<uint64_t>(r.updates, 1)),
-             static_cast<double>(r.rounds) / static_cast<double>(batches),
-             static_cast<unsigned long long>(st.settles),
-             static_cast<unsigned long long>(st.subsubsettles),
-             static_cast<unsigned long long>(st.temp_deleted),
-             static_cast<unsigned long long>(st.settle_fallbacks));
+  for (const Knobs knobs : configs) {
+    ctx.point(
+        {p("settling", knobs.eager ? "eager" : "lazy"),
+         p("iter_factor", static_cast<uint64_t>(knobs.iter_factor))},
+        [&] {
+          ThreadPool pool(ctx.threads(1));
+          Config cfg;
+          cfg.max_rank = 2;
+          cfg.seed = ctx.seed(123);
+          cfg.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
+          cfg.auto_rebuild = false;
+          cfg.settle_after_insertions = knobs.eager;
+          cfg.subsettle_iter_factor = knobs.iter_factor;
+          DynamicMatcher m(cfg, pool);
+
+          ChurnStream::Options so;
+          so.n = static_cast<Vertex>(n);
+          so.target_edges = 3 * static_cast<size_t>(n);
+          so.zipf_s = 0.7;  // skew creates rising work for settle machinery
+          so.seed = ctx.seed(55);
+          ChurnStream stream(so);
+          warm(m, stream, ctx.warm(3 * so.target_edges), 1024);
+
+          const DriveResult r = drive(m, stream, batches, 256);
+          const auto& st = m.stats();
+          Sample s = to_sample(r);
+          s.metrics = {
+              {"work_per_update", per_update(r.work, r.updates)},
+              {"rounds_per_batch", per_batch(r.rounds, batches)},
+              {"settles", static_cast<double>(st.settles)},
+              {"subsubsettles", static_cast<double>(st.subsubsettles)},
+              {"temp_deleted", static_cast<double>(st.temp_deleted)},
+              {"settle_fallbacks", static_cast<double>(st.settle_fallbacks)}};
+          return s;
+        });
+  }
+  ctx.note(
+      "expectation: lazy shifts rounds from insert-heavy batches to the "
+      "next deletion sweep (similar totals); iter_factor=1 may show extra "
+      "subsettle repeats, iter_factor=4 inflates rounds/batch");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "ablation", "E15",
+    "design-knob ablations: eager/lazy settling, subsettle iteration factor",
+    run};
 
 }  // namespace
+}  // namespace pdmm::bench
 
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 12);
-  const uint64_t batches = args.get_u64("batches", 60);
-  args.finish();
-
-  bench::header("E15 bench_ablation",
-                "design-knob ablations: eager/lazy settling, subsettle "
-                "iteration factor");
-  bench::row("%-22s %10s %10s %9s %9s %11s %6s", "config", "work/upd",
-             "rounds/b", "settles", "subsub", "tempdel", "fallbk");
-  run_config("eager,iter=2 (default)", true, 2, static_cast<Vertex>(n),
-             batches);
-  run_config("lazy,iter=2", false, 2, static_cast<Vertex>(n), batches);
-  run_config("eager,iter=1", true, 1, static_cast<Vertex>(n), batches);
-  run_config("eager,iter=4", true, 4, static_cast<Vertex>(n), batches);
-  run_config("lazy,iter=1", false, 1, static_cast<Vertex>(n), batches);
-  bench::row("# expectation: lazy shifts rounds from insert-heavy batches "
-             "to the next deletion sweep (similar totals); iter=1 may show "
-             "extra subsettle repeats, iter=4 inflates rounds/b");
-  return 0;
-}
+PDMM_BENCH_MAIN("ablation")

@@ -5,57 +5,48 @@
 // uniform deleter on the same graph shape.
 #include "bench_common.h"
 #include "baselines/pdmm_adapter.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
+namespace pdmm::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 12);
-  const uint64_t rounds = args.get_u64("rounds", 100);
-  args.finish();
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 12, 1 << 9);
+  const uint64_t rounds = ctx.u64("rounds", 100, 10);
+  const uint64_t cap = 1ull << (ctx.smoke() ? 15 : 22);
 
-  ThreadPool pool(1);
-  bench::header("E10 bench_adversarial",
-                "adaptive matched-targeting deletions cost more per update "
-                "than oblivious deletions, but correctness is unaffected");
-  bench::row("%22s %14s %12s %10s", "adversary", "work/upd", "us/upd",
-             "|M| end");
-
-  // Oblivious uniform churn.
-  {
+  ctx.point({p("adversary", "oblivious-uniform")}, [&] {
+    ThreadPool pool(ctx.threads(1));
     Config cfg;
     cfg.max_rank = 2;
-    cfg.seed = 71;
-    cfg.initial_capacity = 1ull << 22;
+    cfg.seed = ctx.seed(71);
+    cfg.initial_capacity = cap;
     cfg.auto_rebuild = false;
     DynamicMatcher m(cfg, pool);
     ChurnStream::Options so;
     so.n = static_cast<Vertex>(n);
     so.target_edges = 3 * n;
-    so.seed = 37;
+    so.seed = ctx.seed(37);
     ChurnStream stream(so);
-    bench::warm(m, stream, 3 * so.target_edges, 1024);
-    const auto r = bench::drive(m, stream, rounds, 128);
-    bench::row("%22s %14.1f %12.2f %10zu", "oblivious-uniform",
-               static_cast<double>(r.work) /
-                   static_cast<double>(std::max<uint64_t>(r.updates, 1)),
-               r.seconds * 1e6 /
-                   static_cast<double>(std::max<uint64_t>(r.updates, 1)),
-               m.matching_size());
-  }
+    warm(m, stream, ctx.warm(3 * so.target_edges), 1024);
+    const DriveResult r = drive(m, stream, rounds, 128);
+    Sample s = to_sample(r);
+    s.metrics = {{"work_per_update", per_update(r.work, r.updates)},
+                 {"us_per_update", us_per_update(r.seconds, r.updates)},
+                 {"matching", static_cast<double>(m.matching_size())}};
+    return s;
+  });
 
-  // Adaptive matched-targeting deleter.
-  {
+  ctx.point({p("adversary", "adaptive-matched")}, [&] {
+    ThreadPool pool(ctx.threads(1));
     Config cfg;
     cfg.max_rank = 2;
-    cfg.seed = 72;
-    cfg.initial_capacity = 1ull << 22;
+    cfg.seed = ctx.seed(72);
+    cfg.initial_capacity = cap;
     cfg.auto_rebuild = false;
     PdmmAdapter m(cfg, pool);
     AdversarialMatchedDeleter::Options ao;
     ao.n = static_cast<Vertex>(n);
-    ao.seed = 38;
+    ao.seed = ctx.seed(38);
     AdversarialMatchedDeleter adv(ao);
     // Grow.
     for (uint64_t i = 0; i < 3 * n / 64; ++i) apply_batch(m, adv.next(m, 64));
@@ -67,15 +58,30 @@ int main(int argc, char** argv) {
       updates += b.deletions.size() + b.insertions.size();
       apply_batch(m, b);
     }
-    const double secs = t.seconds();
     const auto after = m.total_cost();
-    bench::row("%22s %14.1f %12.2f %10zu", "adaptive-matched",
-               static_cast<double>(after.work - before.work) /
-                   static_cast<double>(std::max<uint64_t>(updates, 1)),
-               secs * 1e6 / static_cast<double>(std::max<uint64_t>(updates, 1)),
-               m.matching_size());
-  }
-  bench::row("# the adaptive row exceeding the oblivious row quantifies how "
-             "much the amortization leans on obliviousness");
-  return 0;
+    Sample s;
+    s.seconds = t.seconds();
+    s.work = after.work - before.work;
+    s.rounds = after.rounds - before.rounds;
+    s.updates = updates;
+    s.metrics = {{"work_per_update", per_update(s.work, updates)},
+                 {"us_per_update", us_per_update(s.seconds, updates)},
+                 {"matching", static_cast<double>(m.matching_size())}};
+    return s;
+  });
+
+  ctx.note(
+      "the adaptive point exceeding the oblivious point quantifies how much "
+      "the amortization leans on obliviousness");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "adversarial", "E10",
+    "adaptive matched-targeting deletions cost more per update than "
+    "oblivious deletions, but correctness is unaffected",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("adversarial")

@@ -5,74 +5,71 @@
 // update stays comparable (both polylog).
 #include "bench_common.h"
 #include "baselines/sequential_dynamic.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
+namespace pdmm::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 13);
-  const uint64_t max_k = args.get_u64("max_k", 1 << 12);
-  const uint64_t batches = args.get_u64("batches", 20);
-  args.finish();
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 13, 1 << 9);
+  const uint64_t max_k = ctx.u64("max_k", 1 << 12, 1 << 6);
+  const uint64_t batches = ctx.u64("batches", 20, 4);
+  const size_t warm_updates = ctx.warm(4 * n);
 
-  bench::header(
-      "E4 bench_batch_size",
-      "pdmm: polylog depth per batch regardless of k; sequential baseline: "
-      "depth ~ Theta(k) per batch (rounds == operations for it)");
-  bench::row("%8s | %12s %12s | %14s %14s | %10s", "k", "pdmm rnds/b",
-             "pdmm w/upd", "seq depth/b", "seq w/upd", "depth ratio");
+  SlidingWindowStream::Options so;
+  so.n = static_cast<Vertex>(n);
+  so.window = 2 * n;
+  so.seed = ctx.seed(5);
 
   for (size_t k = 1; k <= max_k; k *= 4) {
-    // pdmm
-    ThreadPool pool(1);
-    Config cfg;
-    cfg.max_rank = 2;
-    cfg.seed = 11;
-    cfg.initial_capacity = 64ull * n + (1ull << 16);
-    cfg.auto_rebuild = false;
-    DynamicMatcher m(cfg, pool);
-    SlidingWindowStream::Options so;
-    so.n = static_cast<Vertex>(n);
-    so.window = 2 * n;
-    so.seed = 5;
-    SlidingWindowStream stream(so);
-    bench::warm(m, stream, 4 * n, 1024);
-    const auto rp = bench::drive(m, stream, batches, k);
+    ctx.point({p("k", k)}, [&] {
+      // pdmm
+      ThreadPool pool(ctx.threads(1));
+      Config cfg;
+      cfg.max_rank = 2;
+      cfg.seed = ctx.seed(11);
+      cfg.initial_capacity = 64ull * n + (1ull << 16);
+      cfg.auto_rebuild = false;
+      DynamicMatcher m(cfg, pool);
+      SlidingWindowStream stream(so);
+      warm(m, stream, warm_updates, 1024);
+      const DriveResult rp = drive(m, stream, batches, k);
 
-    // sequential baseline over an identical stream state
-    SequentialDynamicMatcher::Options sopt;
-    sopt.max_rank = 2;
-    sopt.seed = 12;
-    sopt.initial_capacity = 64ull * n + (1ull << 16);
-    sopt.auto_rebuild = false;
-    SequentialDynamicMatcher seq(sopt);
-    SlidingWindowStream stream2(so);
-    {  // warm
-      size_t done = 0;
-      while (done < 4 * n) {
-        const Batch b = stream2.next(1024);
-        done += b.deletions.size() + b.insertions.size();
-        apply_batch(seq, b);
-      }
-    }
-    const auto rs = bench::drive_base(seq, stream2, batches, k);
+      // sequential baseline over an identical stream state
+      SequentialDynamicMatcher::Options sopt;
+      sopt.max_rank = 2;
+      sopt.seed = ctx.seed(12);
+      sopt.initial_capacity = 64ull * n + (1ull << 16);
+      sopt.auto_rebuild = false;
+      SequentialDynamicMatcher seq(sopt);
+      SlidingWindowStream stream2(so);
+      warm_base(seq, stream2, warm_updates, 1024);
+      const DriveResult rs = drive_base(seq, stream2, batches, k);
 
-    const double pdmm_rounds =
-        static_cast<double>(rp.rounds) / static_cast<double>(batches);
-    const double seq_rounds =
-        static_cast<double>(rs.rounds) / static_cast<double>(batches);
-    bench::row("%8zu | %12.1f %12.1f | %14.1f %14.1f | %10.1f", k,
-               pdmm_rounds,
-               static_cast<double>(rp.work) /
-                   static_cast<double>(std::max<uint64_t>(rp.updates, 1)),
-               seq_rounds,
-               static_cast<double>(rs.work) /
-                   static_cast<double>(std::max<uint64_t>(rs.updates, 1)),
-               seq_rounds / std::max(pdmm_rounds, 1.0));
+      const double pdmm_rounds = per_batch(rp.rounds, batches);
+      const double seq_rounds = per_batch(rs.rounds, batches);
+      Sample s = to_sample(rp);
+      s.metrics = {
+          {"pdmm_rounds_per_batch", pdmm_rounds},
+          {"pdmm_work_per_update", per_update(rp.work, rp.updates)},
+          {"seq_depth_per_batch", seq_rounds},
+          {"seq_work_per_update", per_update(rs.work, rs.updates)},
+          {"depth_ratio", seq_rounds / std::max(pdmm_rounds, 1.0)}};
+      return s;
+    });
   }
-  bench::row("# expectation: pdmm rnds/b grows sublinearly and saturates at "
-             "its polylog ceiling; seq depth/b grows ~linearly in k, so the "
-             "depth ratio keeps widening");
-  return 0;
+  ctx.note(
+      "expectation: pdmm rounds/batch grows sublinearly and saturates at "
+      "its polylog ceiling; seq depth/batch grows ~linearly in k, so the "
+      "depth ratio keeps widening");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "batch_size", "E4",
+    "pdmm: polylog depth per batch regardless of k; sequential baseline: "
+    "depth ~ Theta(k) per batch (rounds == operations for it)",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("batch_size")

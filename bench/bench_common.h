@@ -1,36 +1,24 @@
-// Shared helpers for the experiment harnesses in bench/.
+// Shared stream-driving helpers for the experiment harnesses in bench/.
 //
-// Every harness prints a self-describing ASCII table (one row per sweep
-// point) so EXPERIMENTS.md can quote outputs verbatim. Columns that the
-// paper's theorems bound are always machine-independent counters (parallel
-// rounds, element work); wall-clock is reported as supplementary context.
+// Harnesses register with bench/registry.h and report structured
+// SweepPoints (machine-independent counters plus a wall-clock distribution
+// over repetitions); the printf-table protocol this header used to provide
+// is gone. Columns that the paper's theorems bound are always the
+// machine-independent counters (parallel rounds, element work); wall-clock
+// is supplementary context. docs/EXPERIMENTS.md documents each harness's
+// methodology and how to reproduce it with tools/pdmm_bench.
 #pragma once
 
-#include <cstdarg>
-#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "registry.h"
 #include "baselines/matcher_base.h"
 #include "core/matcher.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 
 namespace pdmm::bench {
-
-inline void header(const std::string& experiment, const std::string& claim) {
-  std::printf("\n=== %s ===\n", experiment.c_str());
-  std::printf("# paper claim: %s\n", claim.c_str());
-}
-
-inline void row(const char* fmt, ...) {
-  va_list ap;
-  va_start(ap, fmt);
-  std::vfprintf(stdout, fmt, ap);
-  va_end(ap);
-  std::printf("\n");
-  std::fflush(stdout);
-}
 
 // Drives `stream.next(batch)` through a DynamicMatcher `batches` times and
 // returns (work delta, rounds delta, seconds).
@@ -41,6 +29,33 @@ struct DriveResult {
   double seconds = 0;
   uint64_t max_batch_rounds = 0;
 };
+
+// A DriveResult is the timed segment of most harnesses; this seeds the
+// Sample a sweep-point body returns (metrics are appended by the caller).
+inline Sample to_sample(const DriveResult& r) {
+  Sample s;
+  s.seconds = r.seconds;
+  s.work = r.work;
+  s.rounds = r.rounds;
+  s.updates = r.updates;
+  s.max_batch_rounds = r.max_batch_rounds;
+  return s;
+}
+
+// x / updates with a zero-updates guard (metric helpers).
+inline double per_update(uint64_t x, uint64_t updates) {
+  return static_cast<double>(x) /
+         static_cast<double>(updates > 0 ? updates : 1);
+}
+
+inline double per_batch(uint64_t x, size_t batches) {
+  return static_cast<double>(x) / static_cast<double>(batches > 0 ? batches : 1);
+}
+
+// Microseconds per update of a timed segment.
+inline double us_per_update(double seconds, uint64_t updates) {
+  return seconds * 1e6 / static_cast<double>(updates > 0 ? updates : 1);
+}
 
 template <typename Stream>
 DriveResult drive(DynamicMatcher& m, Stream& stream, size_t batches,
@@ -91,6 +106,18 @@ void warm(DynamicMatcher& m, Stream& stream, size_t updates,
     std::vector<EdgeId> dels;
     for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
     m.update(dels, b.insertions);
+  }
+}
+
+// warm() over the MatcherBase interface (baseline comparisons).
+template <typename Stream>
+void warm_base(MatcherBase& m, Stream& stream, size_t updates,
+               size_t batch_size) {
+  size_t done = 0;
+  while (done < updates) {
+    const Batch b = stream.next(batch_size);
+    done += b.deletions.size() + b.insertions.size();
+    apply_batch(m, b);
   }
 }
 

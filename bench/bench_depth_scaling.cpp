@@ -5,81 +5,76 @@
 // Measured quantity: parallel rounds per batch (depth proxy; each round is
 // one parallel primitive, costing O(log N) PRAM depth at most).
 // Two sweeps: rounds-vs-n at fixed k, and rounds-vs-k at fixed n.
+#include <cmath>
+
 #include "bench_common.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
-
+namespace pdmm::bench {
 namespace {
 
-DynamicMatcher::BatchResult measured_batch(DynamicMatcher& m,
-                                           ChurnStream& stream, size_t k) {
-  const Batch b = stream.next(k);
-  std::vector<EdgeId> dels;
-  for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
-  return m.update(dels, b.insertions);
+void sweep_point(Ctx& ctx, Vertex n, size_t k, size_t measure_batches) {
+  ctx.point({p("n", static_cast<uint64_t>(n)), p("k", k)}, [&, n, k] {
+    ThreadPool pool(ctx.threads(1));
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = ctx.seed(1234);
+    cfg.initial_capacity = 64ull * n + (1ull << 16);
+    cfg.auto_rebuild = false;  // keep L fixed within a sweep point
+    DynamicMatcher m(cfg, pool);
+
+    ChurnStream::Options so;
+    so.n = n;
+    so.target_edges = 2 * static_cast<size_t>(n);
+    so.seed = ctx.seed(99);
+    ChurnStream stream(so);
+    warm(m, stream, ctx.warm(3 * so.target_edges), 512);
+
+    const DriveResult r = drive(m, stream, measure_batches, k);
+    const double l = static_cast<double>(m.scheme().top_level());
+    const double log_n = std::log2(static_cast<double>(m.scheme().n_bound()));
+    const double mean = per_batch(r.rounds, measure_batches);
+    Sample s = to_sample(r);
+    s.metrics = {{"L", l},
+                 {"log2_N", log_n},
+                 {"rounds_per_batch", mean},
+                 {"rounds_max", static_cast<double>(r.max_batch_rounds)},
+                 {"rounds_normalized", mean / (l * log_n)}};
+    return s;
+  });
 }
 
-void sweep_point(Vertex n, size_t k, size_t measure_batches) {
-  ThreadPool pool(1);
-  Config cfg;
-  cfg.max_rank = 2;
-  cfg.seed = 1234;
-  cfg.initial_capacity = 64ull * n + (1ull << 16);
-  cfg.auto_rebuild = false;  // keep L fixed within a sweep point
-  DynamicMatcher m(cfg, pool);
+void run(Ctx& ctx) {
+  const uint64_t max_n = ctx.u64("max_n", 1 << 16, 1 << 11);
+  const uint64_t batches = ctx.u64("batches", 40, 5);
 
-  ChurnStream::Options so;
-  so.n = n;
-  so.target_edges = 2 * static_cast<size_t>(n);
-  so.seed = 99;
-  ChurnStream stream(so);
-  bench::warm(m, stream, 3 * so.target_edges, 512);
-
-  uint64_t rounds_sum = 0, rounds_max = 0;
-  for (size_t i = 0; i < measure_batches; ++i) {
-    const auto res = measured_batch(m, stream, k);
-    rounds_sum += res.rounds;
-    rounds_max = std::max(rounds_max, res.rounds);
-  }
-  const double l = static_cast<double>(m.scheme().top_level());
-  const double log_n = std::log2(static_cast<double>(m.scheme().n_bound()));
-  const double mean = static_cast<double>(rounds_sum) /
-                      static_cast<double>(measure_batches);
-  bench::row("%8u %8zu %4.0f %7.1f %10.1f %10llu %14.3f", n, k, l, log_n,
-             mean, static_cast<unsigned long long>(rounds_max),
-             mean / (l * log_n));
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t max_n = args.get_u64("max_n", 1 << 16);
-  const uint64_t batches = args.get_u64("batches", 40);
-  args.finish();
-
-  bench::header("E2 bench_depth_scaling (Theorem 4.4)",
-                "batch depth O(L * log(alpha) * log^3 N) whp — polylog in n "
-                "and independent of batch size k");
-  bench::row("%8s %8s %4s %7s %10s %10s %14s", "n", "k", "L", "log2N",
-             "rounds/b", "rounds_max", "rnds/(L*lgN)");
-
-  // Sweep 1: n grows, k fixed. rounds/b should grow ~polylog (the
-  // normalized last column stays near-constant).
+  // Sweep 1: n grows, k fixed. rounds/batch should grow ~polylog (the
+  // normalized metric stays near-constant).
   for (Vertex n = 1 << 10; n <= max_n; n *= 4) {
-    sweep_point(n, 256, batches);
+    sweep_point(ctx, n, 256, batches);
   }
   // Sweep 2: k grows, n fixed. Theorem 4.4 is an upper bound: tiny batches
   // finish in a handful of rounds (settle loops terminate as soon as the
-  // rising sets empty), and rounds/b saturates at the polylog ceiling
+  // rising sets empty), and rounds/batch saturates at the polylog ceiling
   // L*log(alpha)*log^2(N)-ish instead of growing ~k the way a sequential
   // matcher's dependency chain does (see E4 for that contrast).
-  for (size_t k = 1; k <= (1u << 14); k *= 8) {
-    sweep_point(1 << 14, k, batches);
+  const Vertex fixed_n = ctx.smoke() ? (1 << 11) : (1 << 14);
+  const size_t k_cap = ctx.smoke() ? (1u << 8) : (1u << 14);
+  for (size_t k = 1; k <= k_cap; k *= 8) {
+    sweep_point(ctx, fixed_n, k, batches);
   }
-  bench::row("# expectation: sweep-1 normalized column ~constant; sweep-2 "
-             "rounds/b grows sublinearly in k and saturates (ceiling "
-             "L*log(alpha)*log^2 N), vs Theta(k) for sequential");
-  return 0;
+  ctx.note(
+      "expectation: sweep-1 rounds_normalized ~constant; sweep-2 "
+      "rounds/batch grows sublinearly in k and saturates (ceiling "
+      "L*log(alpha)*log^2 N), vs Theta(k) for sequential");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "depth_scaling", "E2",
+    "batch depth O(L * log(alpha) * log^3 N) whp — polylog in n and "
+    "independent of batch size k (Theorem 4.4)",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("depth_scaling")

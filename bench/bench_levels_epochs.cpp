@@ -4,77 +4,97 @@
 // (T_l <~ t / (mu alpha^l)); the D(e) budget consumed before natural
 // epoch endings is what pays for them.
 #include "bench_common.h"
-#include "util/arg_parse.h"
+#include "core/epoch_stats.h"
 
-using namespace pdmm;
+namespace pdmm::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 12);
-  const uint64_t total_updates = args.get_u64("updates", 1 << 19);
-  args.finish();
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 12, 1 << 9);
+  const uint64_t total_updates = ctx.u64("updates", 1 << 19, 1 << 13);
 
-  ThreadPool pool(1);
-  Config cfg;
-  cfg.max_rank = 2;
-  cfg.seed = 51;
-  cfg.initial_capacity = 1ull << 22;
-  cfg.auto_rebuild = false;
-  DynamicMatcher m(cfg, pool);
+  EpochStats epochs(0);
+  int top_level = 0;
 
-  ChurnStream::Options so;
-  so.n = static_cast<Vertex>(n);
-  so.target_edges = 4 * n;
-  so.zipf_s = 0.8;
-  so.seed = 23;
-  ChurnStream stream(so);
+  ctx.point({p("n", n), p("updates", total_updates)}, [&] {
+    ThreadPool pool(ctx.threads(1));
+    Config cfg;
+    cfg.max_rank = 2;
+    cfg.seed = ctx.seed(51);
+    cfg.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
+    cfg.auto_rebuild = false;
+    DynamicMatcher m(cfg, pool);
 
-  size_t done = 0;
-  while (done < total_updates) {
-    const Batch b = stream.next(512);
-    done += b.deletions.size() + b.insertions.size();
-    std::vector<EdgeId> dels;
-    for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
-    m.update(dels, b.insertions);
-  }
+    ChurnStream::Options so;
+    so.n = static_cast<Vertex>(n);
+    so.target_edges = 4 * n;
+    so.zipf_s = 0.8;
+    so.seed = ctx.seed(23);
+    ChurnStream stream(so);
 
-  const auto& ep = m.epoch_stats();
-  const auto& st = m.stats();
-  const uint64_t alpha = m.scheme().alpha();
-
-  bench::header("E7+E8 bench_levels_epochs (Lemmas 4.6, 4.13-4.15)",
-                "epochs per level decay geometrically; settles create "
-                ">= |B|/alpha^3 epochs each; deleted D(e) budget pays for "
-                "natural endings");
-  bench::row("updates processed: %llu   alpha=%llu  L=%d",
-             static_cast<unsigned long long>(done),
-             static_cast<unsigned long long>(alpha), m.scheme().top_level());
-  bench::row("%5s %12s %12s %12s %14s %14s", "level", "created",
-             "end_natural", "end_induced", "D_provisioned", "D_consumed");
-  uint64_t prev_created = 0;
-  for (Level l = 0; l <= m.scheme().top_level(); ++l) {
-    const auto i = static_cast<size_t>(l);
-    bench::row("%5d %12llu %12llu %12llu %14llu %14llu", l,
-               static_cast<unsigned long long>(ep.created[i]),
-               static_cast<unsigned long long>(ep.ended_natural[i]),
-               static_cast<unsigned long long>(ep.ended_induced[i]),
-               static_cast<unsigned long long>(ep.d_size_at_creation[i]),
-               static_cast<unsigned long long>(ep.d_budget_consumed[i]));
-    if (l >= 2 && prev_created > 0 && ep.created[i] > prev_created) {
-      bench::row("#   note: level %d created more epochs than level %d", l,
-                 l - 1);
+    Sample s;
+    Timer t;
+    size_t done = 0;
+    while (done < total_updates) {
+      const Batch b = stream.next(512);
+      done += b.deletions.size() + b.insertions.size();
+      std::vector<EdgeId> dels;
+      for (const auto& eps : b.deletions) dels.push_back(m.find_edge(eps));
+      const auto res = m.update(dels, b.insertions);
+      s.work += res.work;
+      s.rounds += res.rounds;
+      s.max_batch_rounds = std::max(s.max_batch_rounds, res.rounds);
     }
-    prev_created = ep.created[i];
+    s.seconds = t.seconds();
+    s.updates = done;
+
+    epochs = m.epoch_stats();
+    top_level = m.scheme().top_level();
+    const auto& st = m.stats();
+    s.metrics = {
+        {"alpha", static_cast<double>(m.scheme().alpha())},
+        {"L", static_cast<double>(top_level)},
+        {"settles", static_cast<double>(st.settles)},
+        {"edges_lifted", static_cast<double>(st.edges_lifted)},
+        {"lifted_per_settle",
+         st.settles ? static_cast<double>(st.edges_lifted) /
+                          static_cast<double>(st.settles)
+                    : 0.0}};
+    return s;
+  });
+
+  // Per-level epoch accounting from the last repetition.
+  uint64_t prev_created = 0;
+  for (Level l = 0; l <= top_level; ++l) {
+    const auto i = static_cast<size_t>(l);
+    Sample s;
+    s.metrics = {
+        {"created", static_cast<double>(epochs.created[i])},
+        {"ended_natural", static_cast<double>(epochs.ended_natural[i])},
+        {"ended_induced", static_cast<double>(epochs.ended_induced[i])},
+        {"d_provisioned", static_cast<double>(epochs.d_size_at_creation[i])},
+        {"d_consumed", static_cast<double>(epochs.d_budget_consumed[i])}};
+    ctx.record({p("level", static_cast<uint64_t>(i))}, std::move(s));
+    if (l >= 2 && prev_created > 0 && epochs.created[i] > prev_created) {
+      ctx.note("note: level " + std::to_string(l) +
+               " created more epochs than level " + std::to_string(l - 1));
+    }
+    prev_created = epochs.created[i];
   }
-  if (st.settles > 0) {
-    bench::row("settles=%llu, lifted=%llu  => lifted/settle = %.2f "
-               "(Lemma 4.6 floor is |B|/alpha^3 with |B|>=1: > 0)",
-               static_cast<unsigned long long>(st.settles),
-               static_cast<unsigned long long>(st.edges_lifted),
-               static_cast<double>(st.edges_lifted) /
-                   static_cast<double>(st.settles));
-  }
-  bench::row("# expectation: created[l] decays roughly geometrically for "
-             "l >= 1 (T_l <~ t/(mu alpha^l))");
-  return 0;
+  ctx.note(
+      "expectation: created[l] decays roughly geometrically for l >= 1 "
+      "(T_l <~ t/(mu alpha^l)); Lemma 4.6 floor on lifted_per_settle is "
+      "|B|/alpha^3 with |B| >= 1: > 0");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "levels_epochs", "E7+E8",
+    "epochs per level decay geometrically; settles create >= |B|/alpha^3 "
+    "epochs each; deleted D(e) budget pays for natural endings "
+    "(Lemmas 4.6, 4.13-4.15)",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("levels_epochs")

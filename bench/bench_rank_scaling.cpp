@@ -2,53 +2,60 @@
 // poly(r) factor in work while depth stays polylog. Measured: work/update
 // and rounds/batch as r grows on otherwise-identical churn workloads.
 #include "bench_common.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
+namespace pdmm::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 12);
-  const uint64_t updates_per_point = args.get_u64("updates", 1 << 15);
-  const uint64_t max_rank = args.get_u64("max_rank", 8);
-  args.finish();
-
-  bench::header("E9 bench_rank_scaling (Theorem 1.1)",
-                "work/update grows poly(r); rounds/batch stays polylog "
-                "(alpha = 4r raises L's base, so L shrinks as r grows)");
-  bench::row("%4s %6s %4s %12s %12s %12s %10s", "r", "alpha", "L",
-             "work/upd", "norm r^3", "rounds/b", "us/upd");
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 12, 1 << 9);
+  const uint64_t updates_per_point = ctx.u64("updates", 1 << 15, 1 << 11);
+  const uint64_t max_rank = ctx.u64("max_rank", 8, 4);
 
   for (uint32_t r = 2; r <= max_rank; ++r) {
-    ThreadPool pool(1);
-    Config cfg;
-    cfg.max_rank = r;
-    cfg.seed = 61;
-    cfg.initial_capacity = 1ull << 22;
-    cfg.auto_rebuild = false;
-    DynamicMatcher m(cfg, pool);
+    ctx.point({p("r", static_cast<uint64_t>(r))}, [&, r] {
+      ThreadPool pool(ctx.threads(1));
+      Config cfg;
+      cfg.max_rank = r;
+      cfg.seed = ctx.seed(61);
+      cfg.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
+      cfg.auto_rebuild = false;
+      DynamicMatcher m(cfg, pool);
 
-    ChurnStream::Options so;
-    so.n = static_cast<Vertex>(n);
-    so.rank = r;
-    so.target_edges = 2 * n;
-    so.seed = 29;
-    ChurnStream stream(so);
-    bench::warm(m, stream, 3 * so.target_edges, 1024);
+      ChurnStream::Options so;
+      so.n = static_cast<Vertex>(n);
+      so.rank = r;
+      so.target_edges = 2 * n;
+      so.seed = ctx.seed(29);
+      ChurnStream stream(so);
+      warm(m, stream, ctx.warm(3 * so.target_edges), 1024);
 
-    const size_t batch = 256;
-    const size_t batches = updates_per_point / batch;
-    const auto res = bench::drive(m, stream, batches, batch);
-    const double wpu = static_cast<double>(res.work) /
-                       static_cast<double>(std::max<uint64_t>(res.updates, 1));
-    bench::row("%4u %6llu %4d %12.1f %12.3f %12.1f %10.2f", r,
-               static_cast<unsigned long long>(m.scheme().alpha()),
-               m.scheme().top_level(), wpu,
-               wpu / (static_cast<double>(r) * r * r),
-               static_cast<double>(res.rounds) /
-                   static_cast<double>(batches),
-               res.seconds * 1e6 /
-                   static_cast<double>(std::max<uint64_t>(res.updates, 1)));
+      const size_t batch = 256;
+      const size_t batches = updates_per_point / batch;
+      const DriveResult res = drive(m, stream, batches, batch);
+      const double wpu = per_update(res.work, res.updates);
+      Sample s = to_sample(res);
+      s.metrics = {
+          {"alpha", static_cast<double>(m.scheme().alpha())},
+          {"L", static_cast<double>(m.scheme().top_level())},
+          {"work_per_update", wpu},
+          {"work_per_update_per_r3",
+           wpu / (static_cast<double>(r) * r * r)},
+          {"rounds_per_batch", per_batch(res.rounds, batches)},
+          {"us_per_update", us_per_update(res.seconds, res.updates)}};
+      return s;
+    });
   }
-  return 0;
+  ctx.note(
+      "alpha = 4r raises L's base, so L shrinks as r grows; "
+      "work_per_update_per_r3 staying bounded is the poly(r) check");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "rank_scaling", "E9",
+    "work/update grows poly(r); rounds/batch stays polylog (Theorem 1.1)",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("rank_scaling")

@@ -1,58 +1,64 @@
 // E1 (Theorem 2.2): static parallel hypergraph maximal matching finishes in
 // O(log M) Luby rounds with O(M r log M) work.
 //
-// Output: one row per (M, r); `rounds` should grow ~ c * log2(M) and
-// `work/(M r)` should stay within a small factor of `rounds`.
+// One sweep point per (M, r); `luby_rounds` should grow ~ c * log2(M) and
+// `work_per_Mr` should stay within a small factor of `luby_rounds`.
 #include "bench_common.h"
 #include "static_mm/luby.h"
-#include "util/arg_parse.h"
 #include "util/rng.h"
 
-using namespace pdmm;
-
+namespace pdmm::bench {
 namespace {
 
-void run_point(ThreadPool& pool, Vertex n, size_t m, uint32_t r,
-               uint64_t seed) {
-  HyperedgeRegistry reg(r);
-  Xoshiro256 rng(seed);
-  while (reg.num_edges() < m) {
-    std::vector<Vertex> eps(r);
-    for (auto& v : eps) v = static_cast<Vertex>(rng.below(n));
-    std::sort(eps.begin(), eps.end());
-    if (std::adjacent_find(eps.begin(), eps.end()) != eps.end()) continue;
-    reg.insert(eps);
-  }
-  const auto all = reg.all_edges();
-  CostCounters cost;
-  Timer t;
-  const StaticMMResult res =
-      static_maximal_matching(pool, reg, all, seed * 77, &cost);
-  const double secs = t.seconds();
-  bench::row("%10zu %4u %8u %8.2f %14llu %10.2f %10zu %9.1fms", m, r,
-             res.rounds, static_cast<double>(res.rounds) / log2_ceil(m + 2),
-             static_cast<unsigned long long>(cost.work),
-             static_cast<double>(cost.work) / (static_cast<double>(m) * r),
-             res.matched.size(), secs * 1e3);
-}
+void run(Ctx& ctx) {
+  const uint64_t max_m = ctx.u64("max_m", 1 << 18, 1 << 12);
+  const unsigned threads = ctx.threads(0);
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t max_m = args.get_u64("max_m", 1 << 18);
-  const uint64_t threads = args.get_u64("threads", 0);
-  args.finish();
-
-  ThreadPool pool(static_cast<unsigned>(threads));
-  bench::header("E1 bench_static_mm (Theorem 2.2)",
-                "Luby MM: O(log M) rounds, O(M r log M) work, whp");
-  bench::row("%10s %4s %8s %8s %14s %10s %10s %9s", "M", "r", "rounds",
-             "rnds/lgM", "work", "work/(Mr)", "|M|", "time");
-  for (uint32_t r : {2u, 3u, 5u}) {
+  for (const uint32_t r : {2u, 3u, 5u}) {
     for (size_t m = 1 << 10; m <= max_m; m *= 4) {
-      run_point(pool, static_cast<Vertex>(m / 2), m, r, 42 + m + r);
+      ctx.point({p("M", m), p("r", static_cast<uint64_t>(r))}, [&, m, r] {
+        ThreadPool pool(threads);
+        const Vertex n = static_cast<Vertex>(m / 2);
+        const uint64_t seed = ctx.seed(42 + m + r);
+        HyperedgeRegistry reg(r);
+        Xoshiro256 rng(seed);
+        while (reg.num_edges() < m) {
+          std::vector<Vertex> eps(r);
+          for (auto& v : eps) v = static_cast<Vertex>(rng.below(n));
+          std::sort(eps.begin(), eps.end());
+          if (std::adjacent_find(eps.begin(), eps.end()) != eps.end())
+            continue;
+          reg.insert(eps);
+        }
+        const auto all = reg.all_edges();
+        CostCounters cost;
+        Timer t;
+        const StaticMMResult res =
+            static_maximal_matching(pool, reg, all, seed * 77, &cost);
+        Sample s;
+        s.seconds = t.seconds();
+        s.work = cost.work;
+        s.rounds = res.rounds;
+        s.updates = m;  // one pass over M edges
+        s.metrics = {
+            {"luby_rounds", static_cast<double>(res.rounds)},
+            {"rounds_per_log2M",
+             static_cast<double>(res.rounds) / log2_ceil(m + 2)},
+            {"work_per_Mr", static_cast<double>(cost.work) /
+                                (static_cast<double>(m) * r)},
+            {"matching", static_cast<double>(res.matched.size())}};
+        return s;
+      });
     }
   }
-  return 0;
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "static_mm", "E1",
+    "Luby static MM: O(log M) rounds, O(M r log M) work, whp (Theorem 2.2)",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("static_mm")

@@ -2,102 +2,83 @@
 // Work per update: pdmm and the sequential-dynamic baseline stay polylog;
 // greedy-repair degrades with degree; static-recompute pays Theta(M r)
 // per *batch*, so it loses badly at small batches and only catches up when
-// the batch size approaches the live graph size (the crossover row).
+// the batch size approaches the live graph size (the crossover point).
 #include "bench_common.h"
 #include "baselines/greedy_dynamic.h"
 #include "baselines/pdmm_adapter.h"
 #include "baselines/sequential_dynamic.h"
 #include "baselines/static_recompute.h"
-#include "util/arg_parse.h"
 
-using namespace pdmm;
-
+namespace pdmm::bench {
 namespace {
 
-struct Row {
-  std::string name;
-  double work_per_update;
-  double us_per_update;
-  size_t matching;
-};
-
-Row measure(MatcherBase& m, ChurnStream stream /*by value: fresh copy*/,
-            size_t batches, size_t k, size_t warm_updates) {
-  size_t done = 0;
-  while (done < warm_updates) {
-    const Batch b = stream.next(1024);
-    done += b.deletions.size() + b.insertions.size();
-    apply_batch(m, b);
-  }
-  const auto r = bench::drive_base(m, stream, batches, k);
-  return {m.name(),
-          static_cast<double>(r.work) /
-              static_cast<double>(std::max<uint64_t>(r.updates, 1)),
-          r.seconds * 1e6 / static_cast<double>(std::max<uint64_t>(r.updates, 1)),
-          m.matching_size()};
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  ArgParse args(argc, argv);
-  const uint64_t n = args.get_u64("n", 1 << 13);
-  const uint64_t target = args.get_u64("target_edges", 2 * n);
-  const uint64_t batches = args.get_u64("batches", 30);
-  args.finish();
-
-  ThreadPool pool(0);
-  bench::header(
-      "E5 bench_throughput",
-      "work/update: pdmm ~ sequential-dynamic (both polylog); "
-      "static-recompute pays Theta(Mr)/batch; greedy pays Theta(degree) "
-      "on matched deletions");
+void run(Ctx& ctx) {
+  const uint64_t n = ctx.u64("n", 1 << 13, 1 << 9);
+  const uint64_t target = ctx.u64("target_edges", 2 * n, 2 * n);
+  const uint64_t batches = ctx.u64("batches", 30, 4);
+  const size_t warm_updates = ctx.warm(3 * target);
 
   ChurnStream::Options so;
   so.n = static_cast<Vertex>(n);
   so.target_edges = target;
-  so.seed = 21;
+  so.seed = ctx.seed(21);
 
-  for (size_t k : {16ull, 256ull, 4096ull}) {
-    bench::row("--- batch size k = %zu  (live edges ~ %llu) ---", k,
-               static_cast<unsigned long long>(target));
-    bench::row("%20s %14s %12s %10s", "impl", "work/upd", "us/upd", "|M|");
+  const std::vector<size_t> ks = ctx.smoke()
+                                     ? std::vector<size_t>{16, 128}
+                                     : std::vector<size_t>{16, 256, 4096};
 
-    {
+  auto measure = [&](MatcherBase& m, size_t k) {
+    ChurnStream stream(so);
+    warm_base(m, stream, warm_updates, 1024);
+    const DriveResult r = drive_base(m, stream, batches, k);
+    Sample s = to_sample(r);
+    s.metrics = {{"work_per_update", per_update(r.work, r.updates)},
+                 {"us_per_update", us_per_update(r.seconds, r.updates)},
+                 {"matching", static_cast<double>(m.matching_size())}};
+    return s;
+  };
+
+  for (const size_t k : ks) {
+    ctx.point({p("impl", "pdmm"), p("k", k)}, [&] {
+      ThreadPool pool(ctx.threads(0));
       Config cfg;
       cfg.max_rank = 2;
-      cfg.seed = 31;
-      cfg.initial_capacity = 1ull << 22;
+      cfg.seed = ctx.seed(31);
+      cfg.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
       cfg.auto_rebuild = false;
       PdmmAdapter m(cfg, pool);
-      const Row r = measure(m, ChurnStream(so), batches, k, 3 * target);
-      bench::row("%20s %14.1f %12.2f %10zu", r.name.c_str(),
-                 r.work_per_update, r.us_per_update, r.matching);
-    }
-    {
+      return measure(m, k);
+    });
+    ctx.point({p("impl", "sequential"), p("k", k)}, [&] {
       SequentialDynamicMatcher::Options opt;
-      opt.seed = 32;
-      opt.initial_capacity = 1ull << 22;
+      opt.seed = ctx.seed(32);
+      opt.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
       opt.auto_rebuild = false;
       SequentialDynamicMatcher m(opt);
-      const Row r = measure(m, ChurnStream(so), batches, k, 3 * target);
-      bench::row("%20s %14.1f %12.2f %10zu", r.name.c_str(),
-                 r.work_per_update, r.us_per_update, r.matching);
-    }
-    {
+      return measure(m, k);
+    });
+    ctx.point({p("impl", "greedy"), p("k", k)}, [&] {
       GreedyDynamicMatcher m(2);
-      const Row r = measure(m, ChurnStream(so), batches, k, 3 * target);
-      bench::row("%20s %14.1f %12.2f %10zu", r.name.c_str(),
-                 r.work_per_update, r.us_per_update, r.matching);
-    }
-    {
-      StaticRecomputeMatcher m(2, 33, pool);
-      const Row r = measure(m, ChurnStream(so), batches, k, 3 * target);
-      bench::row("%20s %14.1f %12.2f %10zu", r.name.c_str(),
-                 r.work_per_update, r.us_per_update, r.matching);
-    }
+      return measure(m, k);
+    });
+    ctx.point({p("impl", "static"), p("k", k)}, [&] {
+      ThreadPool pool(ctx.threads(0));
+      StaticRecomputeMatcher m(2, ctx.seed(33), pool);
+      return measure(m, k);
+    });
   }
-  bench::row("# crossover: static-recompute's work/update falls ~1/k; it "
-             "becomes competitive once k is a constant fraction of M");
-  return 0;
+  ctx.note(
+      "crossover: static-recompute's work/update falls ~1/k; it becomes "
+      "competitive once k is a constant fraction of M");
 }
+
+[[maybe_unused]] const Registrar registrar{
+    "throughput", "E5",
+    "work/update: pdmm ~ sequential-dynamic (both polylog); static-recompute "
+    "pays Theta(Mr)/batch; greedy pays Theta(degree) on matched deletions",
+    run};
+
+}  // namespace
+}  // namespace pdmm::bench
+
+PDMM_BENCH_MAIN("throughput")

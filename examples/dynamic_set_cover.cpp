@@ -89,5 +89,7 @@ int main(int argc, char** argv) {
   std::printf("final cover: %zu of %llu sets (guarantee: <= %llu * OPT)\n",
               m.vertex_cover().size(), static_cast<unsigned long long>(sets),
               static_cast<unsigned long long>(freq));
+  std::printf(
+      "(docs/ARCHITECTURE.md explains the update pipeline behind this)\n");
   return 0;
 }

@@ -70,5 +70,7 @@ int main(int argc, char** argv) {
               m.matching_size(), m.graph().num_edges());
   std::printf("(maximality guarantees no executable cycle is overlooked; "
               "size >= 1/3 of the maximum by the rank bound)\n");
+  std::printf(
+      "(docs/ARCHITECTURE.md explains the update pipeline behind this)\n");
   return 0;
 }

@@ -75,5 +75,7 @@ int main() {
       static_cast<unsigned long long>(m.cost().work),
       static_cast<unsigned long long>(m.stats().settles),
       static_cast<unsigned long long>(m.stats().rebuilds));
+  std::printf(
+      "(docs/ARCHITECTURE.md explains the update pipeline behind this)\n");
   return 0;
 }

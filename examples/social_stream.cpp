@@ -70,5 +70,7 @@ int main(int argc, char** argv) {
   std::printf("paired users at end: %zu of %llu active\n",
               2 * m.matching_size(),
               static_cast<unsigned long long>(users));
+  std::printf(
+      "(docs/ARCHITECTURE.md explains the update pipeline behind this)\n");
   return 0;
 }

@@ -104,5 +104,7 @@ int main(int argc, char** argv) {
               m.matching_size(),
               static_cast<unsigned long long>(completed_total),
               static_cast<unsigned long long>(ticks));
+  std::printf(
+      "(docs/ARCHITECTURE.md explains the update pipeline behind this)\n");
   return 0;
 }

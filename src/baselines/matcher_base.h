@@ -1,6 +1,22 @@
 // Common interface for all dynamic-matching implementations, used by the
 // benchmark harnesses to run pdmm and the three baselines over identical
-// update streams (experiments E4, E5, E10).
+// update streams (experiments E4, E5, E10, S3).
+//
+// Implementations: PdmmAdapter (the paper's parallel algorithm),
+// SequentialDynamicMatcher (same leveling scheme, batch size 1, rounds ==
+// operations), GreedyDynamicMatcher (repair-on-delete, Theta(degree) per
+// matched deletion), StaticRecomputeMatcher (static MM per batch,
+// Theta(M r)).
+//
+// Contract shared by every implementation:
+//  * apply() keeps a valid maximal matching of the live edge set at every
+//    batch boundary, so matching_size() >= (1/r) * maximum.
+//  * For one fixed update stream, all implementations assign identical
+//    EdgeIds to identical insertions (apply_batch feeds deletions in
+//    sorted-unique id order to make this hold), so results are comparable
+//    edge-for-edge across implementations.
+//  * Deterministic for a fixed seed: same stream => same matching, same
+//    counters, regardless of thread count.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +33,10 @@ class MatcherBase {
  public:
   virtual ~MatcherBase() = default;
 
+  // Machine-independent cost counters, cumulative since construction
+  // (drive helpers diff them around a measured segment). For sequential
+  // implementations rounds == operations — their dependency chain IS
+  // their depth, which is exactly what E4 compares.
   struct UpdateCost {
     uint64_t work = 0;    // element operations
     uint64_t rounds = 0;  // sequential parallel rounds (depth proxy)
@@ -24,6 +44,8 @@ class MatcherBase {
 
   // Applies one batch (deletions by id, then insertions by endpoints) and
   // returns per-insertion assigned ids (kNoEdge for rejected duplicates).
+  // Deletions must name present edges; insertions are endpoint lists of
+  // 1..r distinct vertices. Deletions apply before insertions.
   virtual std::vector<EdgeId> apply(
       std::span<const EdgeId> deletions,
       std::span<const std::vector<Vertex>> insertions) = 0;

@@ -1,4 +1,11 @@
 // Configuration of the dynamic matcher.
+//
+// A Config fully determines a DynamicMatcher's behaviour: two matchers
+// with the same Config fed the same update sequence produce bit-identical
+// state and counters on any machine and thread count. Defaults reproduce
+// the paper's algorithm with eager settling (Invariant 3.5(2) restored
+// after every batch); the knobs below trade that off or pin structure
+// sizes for controlled experiments (benchmark E15 ablates them).
 #pragma once
 
 #include <cstdint>

@@ -75,6 +75,22 @@ class DynamicMatcher {
   // Processes one batch. Deletions are EdgeIds of present edges (duplicates
   // within the batch are ignored); insertions are endpoint lists of
   // 1..max_rank distinct vertices. Deletions apply before insertions (§3.3).
+  //
+  // Contract: after update() returns, M is a valid maximal matching of the
+  // live edge set, and every structural invariant listed in the class
+  // comment holds (MatchingChecker::check passes). Against an oblivious
+  // adversary — update sequences fixed without seeing Config::seed — the
+  // paper bounds, whp over the seed:
+  //   * amortized work per update: O(alpha^8 L^2 log^2(alpha) log^7 N)
+  //     (Theorem 4.16) — polylog(N) for fixed rank, and
+  //   * depth per batch: O(L log(alpha) log^3 N) rounds regardless of the
+  //     batch size (Theorem 4.4); BatchResult::rounds is that round count,
+  //     BatchResult::work the element-operation count.
+  // Determinism: for a fixed Config::seed and update sequence, the
+  // resulting state and all counters are identical across thread counts
+  // and schedules (all randomness is stateless indexed hashing).
+  // An adaptive adversary (one that inspects the matching, e.g.
+  // AdversarialMatchedDeleter) voids the work bound but never correctness.
   BatchResult update(std::span<const EdgeId> deletions,
                      std::span<const std::vector<Vertex>> insertions);
 
@@ -94,7 +110,10 @@ class DynamicMatcher {
       std::span<const std::vector<Vertex>> insertions);
 
   // ---- inspection ----
+  // All inspection accessors are O(1) unless noted, never allocate, and
+  // are safe to call between updates (not from within parallel callbacks).
   const HyperedgeRegistry& graph() const { return reg_; }
+  // O(r) expected hash lookup; endpoints need not be sorted.
   EdgeId find_edge(std::span<const Vertex> endpoints) const {
     return reg_.find(endpoints);
   }
@@ -105,6 +124,9 @@ class DynamicMatcher {
     return e < eflags_.size() && (eflags_[e] & kTempDeleted);
   }
   size_t matching_size() const { return matching_size_; }
+  // Materializes M, sorted ascending; O(edge capacity). Maximality makes
+  // it a 1/r-approximation of the maximum matching (paper §2) — 1/2 for
+  // ordinary graphs.
   std::vector<EdgeId> matching() const;
   // The endpoints of all matched hyperedges form a vertex cover of size at
   // most r times the minimum (paper §2). Sorted ascending.

@@ -83,6 +83,23 @@ class PercentileStats {
   bool sorted_ = false;
 };
 
+// Order statistics of a small sample — the repetitions of one benchmark
+// sweep point. Median is the usual midpoint-interpolated value.
+struct MinMedMax {
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+inline MinMedMax min_med_max(std::vector<double> xs) {
+  if (xs.empty()) return {};
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  const double med =
+      (n % 2) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  return {xs.front(), med, xs.back()};
+}
+
 // Fixed-bucket histogram over non-negative integers (e.g. level indices,
 // settle repeat counts). Out-of-range values clamp to the last bucket.
 class Histogram {

@@ -117,6 +117,99 @@ class SlidingWindowStream {
   size_t fifo_head_ = 0;
 };
 
+// Sliding-window churn: the temporal window of SlidingWindowStream plus
+// mid-window churn. Every batch inserts fresh edges and, once the window is
+// full, evicts the oldest survivors; additionally a `churn` fraction of the
+// batch deletes a *random-age* window edge before inserting its
+// replacement. Random-age deletions break the pure-FIFO lifetime
+// distribution, so edge lifetimes mix short and long — harder on the
+// leveling scheme than ChurnStream (no temporal order at all) or
+// SlidingWindowStream (strictly FIFO lifetimes).
+class WindowChurnStream {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    size_t window = 1 << 12;
+    double churn = 0.25;  // fraction of slots deleting a random-age edge
+    uint64_t seed = 1;
+  };
+  explicit WindowChurnStream(const Options& opt);
+  Batch next(size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  Options opt_;
+  Xoshiro256 rng_;
+  LiveSet live_;
+  // Insertion-ordered window; an emptied slot marks an edge the churn path
+  // already deleted (the eviction scan skips it).
+  std::vector<std::vector<Vertex>> fifo_;
+  size_t fifo_head_ = 0;
+  size_t window_live_ = 0;
+};
+
+// Hub-heavy power-law inserts: every edge couples one Zipf-ranked hub
+// endpoint with uniform partners (hub-and-spoke shape), so a handful of
+// vertices own a large fraction of the live edges. Insert-heavy until
+// target_edges, then steady-state churn with uniform-random deletions.
+// High-degree hubs cross the o~(v, l) >= alpha^l rising threshold far more
+// often than uniform churn produces, exercising grand-random-settle at
+// high levels (ChurnStream's zipf_s skews *all* endpoints instead, which
+// mostly yields hub-hub collisions rather than wide hubs).
+class PowerLawStream {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    size_t target_edges = 1 << 12;
+    double s = 1.1;                // Zipf exponent of the hub endpoint
+    double delete_fraction = 0.5;  // at steady state
+    uint64_t seed = 1;
+  };
+  explicit PowerLawStream(const Options& opt);
+  Batch next(size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  std::vector<Vertex> draw_endpoints();
+  Options opt_;
+  Xoshiro256 rng_;
+  ZipfSampler zipf_;
+  LiveSet live_;
+};
+
+// Adversarial delete-reinsert oscillation: after building a stable
+// background graph plus a fixed core edge set, batches alternate between
+// deleting a stretch of the core and reinserting exactly those edges. The
+// pattern is fixed up front — the adversary stays oblivious, unlike
+// AdversarialMatchedDeleter — but it is a worst case for epoch longevity:
+// the same endpoints flap every other batch, so matched epochs keep dying
+// young and settles re-run over the same neighbourhoods indefinitely.
+class OscillationStream {
+ public:
+  struct Options {
+    Vertex n = 1 << 12;
+    uint32_t rank = 2;
+    size_t core_edges = 1 << 10;        // the oscillating set
+    size_t background_edges = 1 << 12;  // stable context edges
+    uint64_t seed = 1;
+  };
+  explicit OscillationStream(const Options& opt);
+  Batch next(size_t batch_size);
+  const LiveSet& live() const { return live_; }
+
+ private:
+  Options opt_;
+  Xoshiro256 rng_;
+  LiveSet live_;
+  std::vector<std::vector<Vertex>> pending_builds_;  // initial insertions
+  size_t build_cursor_ = 0;
+  std::vector<std::vector<Vertex>> core_;
+  size_t cursor_ = 0;       // next core index to delete / reinsert
+  bool deleting_ = true;    // current half of the oscillation cycle
+};
+
 // Adaptive adversary: deletes currently *matched* edges of a given matcher
 // (plus inserts replacements to keep the graph size stable). Violates the
 // oblivious model on purpose; see E10.

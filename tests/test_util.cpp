@@ -1,13 +1,17 @@
 // Unit tests for src/util: bit helpers, RNGs, flat map, IndexedSet, stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/bits.h"
 #include "util/flat_map.h"
 #include "util/indexed_set.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -214,6 +218,55 @@ TEST(Stats, Histogram) {
   EXPECT_EQ(h.at(1), 5u);
   EXPECT_EQ(h.at(3), 1u);
   EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Stats, MinMedMax) {
+  EXPECT_DOUBLE_EQ(min_med_max({}).median, 0.0);
+  const MinMedMax one = min_med_max({3.0});
+  EXPECT_DOUBLE_EQ(one.min, 3.0);
+  EXPECT_DOUBLE_EQ(one.median, 3.0);
+  EXPECT_DOUBLE_EQ(one.max, 3.0);
+  const MinMedMax odd = min_med_max({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(odd.min, 1.0);
+  EXPECT_DOUBLE_EQ(odd.median, 3.0);
+  EXPECT_DOUBLE_EQ(odd.max, 5.0);
+  const MinMedMax even = min_med_max({4.0, 1.0, 2.0, 8.0});
+  EXPECT_DOUBLE_EQ(even.median, 3.0);
+}
+
+TEST(Json, EscapesAndNests) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.field("name", "quote\"backslash\\newline\n");
+    j.field("count", static_cast<uint64_t>(42));
+    j.field("pi", 3.5);
+    j.field("nan_is_null", std::nan(""));
+    j.field("flag", true);
+    j.key("list");
+    j.begin_array();
+    j.value(static_cast<uint64_t>(1));
+    j.value("two");
+    j.end_array();
+    j.key("empty");
+    j.begin_object();
+    j.end_object();
+    j.end_object();
+  }
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"quote\\\"backslash\\\\newline\\n\""), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(s.find("\"pi\": 3.5"), std::string::npos);
+  EXPECT_NE(s.find("\"nan_is_null\": null"), std::string::npos);
+  EXPECT_NE(s.find("\"flag\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"empty\": {}"), std::string::npos);
+  // Balanced braces/brackets: equal number of openers and closers outside
+  // strings is a good enough structural smoke check here.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
 }
 
 }  // namespace

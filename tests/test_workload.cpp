@@ -1,6 +1,8 @@
 // Tests of the workload generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "baselines/pdmm_adapter.h"
@@ -134,6 +136,181 @@ TEST(Adversarial, DeletesOnlyMatchedEdges) {
     }
     apply_batch(m, b);
   }
+}
+
+// Shared batch-validity harness for the newer streams: every deletion must
+// name a currently-live edge, insertions must be fresh, and the stream's
+// own live() mirror must agree with the replayed state.
+template <typename Stream>
+void expect_valid_batches(Stream& s, size_t batches, size_t batch_size) {
+  std::set<std::vector<Vertex>> live;
+  for (size_t i = 0; i < batches; ++i) {
+    const Batch b = s.next(batch_size);
+    for (const auto& eps : b.deletions) {
+      ASSERT_EQ(live.count(eps), 1u) << "deleted an edge that is not live";
+      live.erase(eps);
+    }
+    for (const auto& eps : b.insertions) {
+      ASSERT_EQ(live.count(eps), 0u) << "inserted a duplicate edge";
+      live.insert(eps);
+    }
+  }
+  EXPECT_EQ(live.size(), s.live().size());
+}
+
+TEST(WindowChurn, ValidBatchesAndBoundedWindow) {
+  WindowChurnStream::Options opt;
+  opt.n = 300;
+  opt.window = 100;
+  opt.churn = 0.5;
+  opt.seed = 11;
+  WindowChurnStream s(opt);
+  expect_valid_batches(s, 80, 25);
+  // The live set may only exceed the window transiently inside a batch.
+  EXPECT_LE(s.live().size(), opt.window);
+}
+
+TEST(WindowChurn, ZeroChurnMatchesSlidingWindowSizes) {
+  WindowChurnStream::Options opt;
+  opt.n = 500;
+  opt.window = 10;
+  opt.churn = 0.0;
+  opt.seed = 5;
+  WindowChurnStream s(opt);
+  const Batch first = s.next(10);  // fills the window exactly
+  EXPECT_TRUE(first.deletions.empty());
+  const Batch second = s.next(10);
+  // With churn off every further batch evicts exactly what it inserts.
+  ASSERT_EQ(second.deletions.size(), 10u);
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(second.deletions[i], first.insertions[i]);
+}
+
+TEST(WindowChurn, ChurnDeletesOutOfFifoOrder) {
+  WindowChurnStream::Options opt;
+  opt.n = 1000;
+  opt.window = 200;
+  opt.churn = 0.5;
+  opt.seed = 13;
+  WindowChurnStream s(opt);
+  std::vector<std::vector<Vertex>> inserted;
+  bool out_of_order = false;
+  for (int i = 0; i < 40; ++i) {
+    const Batch b = s.next(50);
+    // A deletion that is NOT the oldest still-live edge proves the
+    // random-age churn path fired.
+    for (const auto& eps : b.deletions) {
+      auto it = std::find(inserted.begin(), inserted.end(), eps);
+      if (it != inserted.end() && it != inserted.begin()) out_of_order = true;
+      if (it != inserted.end()) inserted.erase(it);
+    }
+    for (const auto& eps : b.insertions) inserted.push_back(eps);
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(PowerLaw, GrowsToTargetWithValidBatches) {
+  PowerLawStream::Options opt;
+  opt.n = 400;
+  opt.target_edges = 300;
+  opt.s = 1.1;
+  opt.seed = 21;
+  PowerLawStream s(opt);
+  expect_valid_batches(s, 60, 30);
+  EXPECT_NEAR(static_cast<double>(s.live().size()), 300.0, 60.0);
+}
+
+TEST(PowerLaw, HubEndpointsDominate) {
+  PowerLawStream::Options opt;
+  opt.n = 2000;
+  opt.target_edges = 4000;
+  opt.s = 1.2;
+  opt.seed = 22;
+  PowerLawStream s(opt);
+  std::map<Vertex, size_t> degree;
+  for (int i = 0; i < 40; ++i) {
+    const Batch b = s.next(200);
+    for (const auto& eps : b.insertions)
+      for (Vertex v : eps) ++degree[v];
+  }
+  size_t max_deg = 0, total = 0;
+  for (const auto& [v, d] : degree) {
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  // A Zipf(1.2) hub endpoint owns far more than the uniform share.
+  EXPECT_GT(max_deg * degree.size(), 20 * total);
+}
+
+TEST(Oscillation, BuildsThenOscillatesSameEdges) {
+  OscillationStream::Options opt;
+  opt.n = 500;
+  opt.core_edges = 40;
+  opt.background_edges = 100;
+  opt.seed = 31;
+  OscillationStream s(opt);
+
+  // Build phase: exactly background + core insertions, no deletions.
+  std::set<std::vector<Vertex>> live;
+  size_t built = 0;
+  while (built < 140) {
+    const Batch b = s.next(64);
+    EXPECT_TRUE(b.deletions.empty());
+    built += b.insertions.size();
+    for (const auto& eps : b.insertions) live.insert(eps);
+  }
+  EXPECT_EQ(built, 140u);
+  EXPECT_EQ(live.size(), 140u);
+
+  // First oscillation half-cycle deletes a live stretch of the core;
+  // the next reinserts exactly the same edges.
+  const Batch del = s.next(64);
+  EXPECT_TRUE(del.insertions.empty());
+  ASSERT_EQ(del.deletions.size(), 40u);
+  for (const auto& eps : del.deletions) EXPECT_EQ(live.count(eps), 1u);
+  const Batch re = s.next(64);
+  EXPECT_TRUE(re.deletions.empty());
+  ASSERT_EQ(re.insertions.size(), 40u);
+  EXPECT_EQ(std::set<std::vector<Vertex>>(re.insertions.begin(),
+                                          re.insertions.end()),
+            std::set<std::vector<Vertex>>(del.deletions.begin(),
+                                          del.deletions.end()));
+}
+
+TEST(Oscillation, DrivesMatcherWithInvariantsOn) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 1 << 12;
+  cfg.check_invariants = true;
+  PdmmAdapter m(cfg, pool);
+
+  OscillationStream::Options opt;
+  opt.n = 200;
+  opt.core_edges = 32;
+  opt.background_edges = 64;
+  opt.seed = 32;
+  OscillationStream s(opt);
+  for (int i = 0; i < 24; ++i) apply_batch(m, s.next(16));
+  EXPECT_GT(m.matching_size(), 0u);
+}
+
+TEST(WindowChurn, DrivesMatcherWithInvariantsOn) {
+  ThreadPool pool(1);
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.initial_capacity = 1 << 12;
+  cfg.check_invariants = true;
+  PdmmAdapter m(cfg, pool);
+
+  WindowChurnStream::Options opt;
+  opt.n = 200;
+  opt.window = 80;
+  opt.churn = 0.4;
+  opt.seed = 33;
+  WindowChurnStream s(opt);
+  for (int i = 0; i < 30; ++i) apply_batch(m, s.next(20));
+  EXPECT_GT(m.matching_size(), 0u);
 }
 
 TEST(ApplyBatch, ResolvesAndApplies) {

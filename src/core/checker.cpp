@@ -156,12 +156,18 @@ void MatchingChecker::check(const DynamicMatcher& m) {
   }
   for (Vertex v = 0; v < m.verts_.size(); ++v) {
     const auto& vs = m.verts_[v];
-    if (vs.owned.empty() && vs.a_sets.empty()) continue;
+    if (vs.owned.empty() && vs.a_sets.empty()) {
+      PDMM_ASSERT_MSG(vs.s_mask == 0,
+                      "stale S_l bitmask on a structure-free vertex");
+      continue;
+    }
     for (Level l = 0; l <= top; ++l) {
       const bool member =
           vs.level < l && m.o_tilde(v, l) >= m.scheme_.rise_threshold(l);
       PDMM_ASSERT_MSG(m.s_[static_cast<size_t>(l)].contains(v) == member,
                       "S_l membership out of sync");
+      PDMM_ASSERT_MSG(((vs.s_mask >> l) & 1) == (member ? 1u : 0u),
+                      "cached S_l bitmask out of sync with membership");
     }
   }
   PDMM_ASSERT(m.total_undecided() == 0);

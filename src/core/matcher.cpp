@@ -1,8 +1,19 @@
 // DynamicMatcher: update pipeline and structural primitives (§3.2–3.3).
 // The grand-random-settle machinery lives in settle.cpp.
+//
+// Hot-path disciplines (see docs/ARCHITECTURE.md "Performance notes"):
+//  * Structural phases are batch-parallel: a read-only parallel pass
+//    computes mutation records, which apply grouped per target vertex
+//    (lock-free EREW) with totally ordered keys, so the resulting state is
+//    identical across thread counts.
+//  * S_l membership is cached per vertex as a bitmask; refreshes touch the
+//    shared S_l sets only when a membership bit actually flips.
+//  * All phase-scoped buffers come from the Scratch arena (one allocation
+//    over the matcher's lifetime, reused every batch).
 #include "core/matcher.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/checker.h"
 #include "dict/batch_ops.h"
@@ -16,7 +27,9 @@ namespace pdmm {
 namespace {
 // Epoch stats are kept in fixed-size arrays so the N-doubling rebuild never
 // loses history; L = ceil(log_alpha N) <= 42 for alpha >= 4 and 64-bit N.
+// The per-vertex S_l bitmask needs L + 1 <= 64 on top of that.
 constexpr size_t kMaxLevels = 48;
+static_assert(kMaxLevels <= 64, "S_l bitmask packs levels into a uint64");
 }  // namespace
 
 DynamicMatcher::DynamicMatcher(const Config& cfg, ThreadPool& pool)
@@ -44,8 +57,12 @@ std::vector<EdgeId> DynamicMatcher::matching() const {
 }
 
 std::vector<Vertex> DynamicMatcher::vertex_cover() const {
+  // Exact reservation: matched hyperedges can have rank < max_rank, so
+  // matching_size_ * max_rank over-allocates; count the members instead.
+  size_t count = 0;
+  for (const VertexState& vs : verts_) count += vs.matched != kNoEdge;
   std::vector<Vertex> cover;
-  cover.reserve(matching_size_ * reg_.max_rank());
+  cover.reserve(count);
   for (Vertex v = 0; v < verts_.size(); ++v) {
     if (verts_[v].matched != kNoEdge) cover.push_back(v);
   }
@@ -62,14 +79,20 @@ uint64_t DynamicMatcher::o_tilde(Vertex v, Level l) const {
   return total;
 }
 
-std::vector<EdgeId> DynamicMatcher::collect_o_tilde(Vertex v, Level l) const {
-  std::vector<EdgeId> out;
+void DynamicMatcher::append_o_tilde(Vertex v, Level l,
+                                    std::vector<EdgeId>& out) const {
   const VertexState& vs = verts_[v];
   out.insert(out.end(), vs.owned.items().begin(), vs.owned.items().end());
   for (const auto& ls : vs.a_sets) {
     if (ls.level < l)
       out.insert(out.end(), ls.set.items().begin(), ls.set.items().end());
   }
+}
+
+std::vector<EdgeId> DynamicMatcher::collect_o_tilde(Vertex v, Level l) const {
+  std::vector<EdgeId> out;
+  out.reserve(o_tilde(v, l));
+  append_o_tilde(v, l, out);
   return out;
 }
 
@@ -91,31 +114,94 @@ void DynamicMatcher::grow_edges(size_t bound) {
 // S_l maintenance
 // ---------------------------------------------------------------------------
 
-void DynamicMatcher::refresh_s_membership(Vertex v) {
+uint64_t DynamicMatcher::compute_s_mask(Vertex v) const {
   const VertexState& vs = verts_[v];
   const Level top = scheme_.top_level();
   uint64_t counts[kMaxLevels] = {0};
-  for (const auto& ls : vs.a_sets)
+  uint64_t total = vs.owned.size();
+  for (const auto& ls : vs.a_sets) {
     counts[static_cast<size_t>(ls.level)] = ls.set.size();
+    total += ls.set.size();
+  }
+  if (total == 0) return 0;
+  uint64_t mask = 0;
   uint64_t o_til = vs.owned.size();  // running value of o~(v, l)
   for (Level l = 0; l <= top; ++l) {
-    const bool member = vs.level < l && o_til >= scheme_.rise_threshold(l);
-    if (member) {
+    const uint64_t thr = scheme_.rise_threshold(l);
+    // o~(v, l) never exceeds `total` and thresholds grow geometrically, so
+    // once one is out of reach every later one is too.
+    if (thr > total) break;
+    if (vs.level < l && o_til >= thr) mask |= uint64_t{1} << l;
+    o_til += counts[static_cast<size_t>(l)];
+  }
+  return mask;
+}
+
+void DynamicMatcher::refresh_s_membership(Vertex v) {
+  VertexState& vs = verts_[v];
+  const uint64_t nm = compute_s_mask(v);
+  uint64_t delta = nm ^ vs.s_mask;
+  if (delta == 0) return;
+  vs.s_mask = nm;
+  do {
+    const int l = std::countr_zero(delta);
+    delta &= delta - 1;
+    if ((nm >> l) & 1) {
       s_[static_cast<size_t>(l)].insert(v);
     } else {
       s_[static_cast<size_t>(l)].erase(v);
     }
-    o_til += counts[static_cast<size_t>(l)];
-  }
+  } while (delta != 0);
 }
 
 void DynamicMatcher::refresh_s_membership_all(
     const std::vector<Vertex>& touched) {
-  // Serial application over shared S_l sets; O(L) per vertex. Counted as
-  // one parallel round of |touched|*L work (a grouped EREW application
-  // would realize exactly that; see DESIGN.md).
-  for (Vertex v : touched) refresh_s_membership(v);
-  cost_.round(touched.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+  if (touched.empty()) return;
+  // Pass 1 (parallel; `touched` is sorted unique, so the per-vertex mask
+  // writes are disjoint): recompute each mask, remember which bits flip.
+  auto& deltas = scratch_.s_deltas;
+  deltas.resize(touched.size());
+  parallel_for(pool_, touched.size(), [&](size_t i) {
+    PDMM_DASSERT(i == 0 || touched[i - 1] < touched[i]);
+    const Vertex v = touched[i];
+    const uint64_t nm = compute_s_mask(v);
+    deltas[i] = nm ^ verts_[v].s_mask;
+    verts_[v].s_mask = nm;
+  });
+  cost_.round(touched.size());
+
+  // Pass 2: expand the (rare) flips into per-level membership deltas...
+  auto& muts = scratch_.s_muts;
+  muts.clear();
+  for (size_t i = 0; i < touched.size(); ++i) {
+    uint64_t delta = deltas[i];
+    if (delta == 0) continue;
+    const uint64_t nm = verts_[touched[i]].s_mask;
+    do {
+      const int l = std::countr_zero(delta);
+      delta &= delta - 1;
+      muts.push_back(SMut{static_cast<Level>(l), touched[i],
+                          static_cast<uint8_t>((nm >> l) & 1)});
+    } while (delta != 0);
+  }
+  if (muts.empty()) return;
+
+  // ...and apply them grouped by level: concurrent groups touch distinct
+  // S_l sets, and the unique (level, vertex) keys fix the in-level order.
+  apply_grouped_unique(
+      pool_, muts, [](const SMut& m) { return m.key(); },
+      [](uint64_t k) { return k >> 32; },
+      [&](uint64_t lvl, const SMut* b, const SMut* e) {
+        IndexedSet& s = s_[static_cast<size_t>(lvl)];
+        for (const SMut* m = b; m != e; ++m) {
+          if (m->add) {
+            s.insert(m->v);
+          } else {
+            s.erase(m->v);
+          }
+        }
+      },
+      scratch_.s_groups, &cost_);
 }
 
 // ---------------------------------------------------------------------------
@@ -141,7 +227,7 @@ void DynamicMatcher::insert_edge_into_structures(EdgeId e) {
     if (u != owner) verts_[u].ensure_a(maxl).insert(e);
   }
   for (Vertex u : eps) refresh_s_membership(u);
-  cost_.add_work(eps.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+  cost_.add_work(eps.size() * 2);
 }
 
 void DynamicMatcher::remove_edge_from_structures(EdgeId e) {
@@ -153,10 +239,101 @@ void DynamicMatcher::remove_edge_from_structures(EdgeId e) {
     if (u != owner) verts_[u].erase_a(l, e);
   }
   for (Vertex u : eps) refresh_s_membership(u);
-  cost_.add_work(eps.size() * (static_cast<size_t>(scheme_.top_level()) + 1));
+  cost_.add_work(eps.size() * 2);
 }
 
-void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
+void DynamicMatcher::apply_struct_muts(bool insert) {
+  auto& muts = scratch_.struct_muts;
+  auto& live = scratch_.struct_live;
+  pack_values_into(
+      pool_, muts, [&](size_t i) { return muts[i].u != kNoVertex; }, live,
+      scratch_.pack_flags);
+  if (live.empty()) return;
+  apply_grouped_unique(
+      pool_, live, [](const StructMut& m) { return m.key(); },
+      [](uint64_t k) { return k >> 32; },
+      [&](uint64_t key, const StructMut* b, const StructMut* e) {
+        VertexState& vs = verts_[static_cast<Vertex>(key)];
+        for (const StructMut* m = b; m != e; ++m) {
+          if (insert) {
+            if (m->is_owner) {
+              vs.owned.insert(m->e);
+            } else {
+              vs.ensure_a(m->lvl).insert(m->e);
+            }
+          } else {
+            if (m->is_owner) {
+              vs.owned.erase(m->e);
+            } else {
+              vs.erase_a(m->lvl, m->e);
+            }
+          }
+        }
+      },
+      scratch_.struct_groups, &cost_);
+
+  // `live` is now sorted by (u, e), so the touched vertex set falls out of
+  // one scan, already sorted and unique — exactly what the grouped S_l
+  // refresh requires.
+  auto& touched = scratch_.struct_touched;
+  touched.clear();
+  for (const StructMut& m : live) {
+    if (touched.empty() || touched.back() != m.u) touched.push_back(m.u);
+  }
+  refresh_s_membership_all(touched);
+}
+
+void DynamicMatcher::insert_edges_into_structures(
+    const std::vector<EdgeId>& ids) {
+  if (ids.empty()) return;
+  const uint32_t r = reg_.max_rank();
+  auto& muts = scratch_.struct_muts;
+  muts.assign(ids.size() * r, StructMut{});
+  parallel_for(pool_, ids.size(), [&](size_t i) {
+    const EdgeId e = ids[i];
+    const auto eps = reg_.endpoints(e);
+    Vertex owner = eps[0];
+    Level maxl = verts_[eps[0]].level;
+    for (size_t j = 1; j < eps.size(); ++j) {
+      if (verts_[eps[j]].level > maxl) {
+        maxl = verts_[eps[j]].level;
+        owner = eps[j];
+      }
+    }
+    PDMM_ASSERT_MSG(maxl >= 0,
+                    "an edge with all endpoints unmatched cannot be placed");
+    elevel_[e] = maxl;
+    eowner_[e] = owner;
+    for (size_t j = 0; j < eps.size(); ++j) {
+      muts[i * r + j] = StructMut{eps[j], e, maxl,
+                                  static_cast<uint8_t>(eps[j] == owner)};
+    }
+  });
+  cost_.round(ids.size() * r);
+  apply_struct_muts(/*insert=*/true);
+}
+
+void DynamicMatcher::remove_edges_from_structures(
+    const std::vector<EdgeId>& ids) {
+  if (ids.empty()) return;
+  const uint32_t r = reg_.max_rank();
+  auto& muts = scratch_.struct_muts;
+  muts.assign(ids.size() * r, StructMut{});
+  parallel_for(pool_, ids.size(), [&](size_t i) {
+    const EdgeId e = ids[i];
+    const auto eps = reg_.endpoints(e);
+    const Vertex owner = eowner_[e];
+    const Level l = elevel_[e];
+    for (size_t j = 0; j < eps.size(); ++j) {
+      muts[i * r + j] =
+          StructMut{eps[j], e, l, static_cast<uint8_t>(eps[j] == owner)};
+    }
+  });
+  cost_.round(ids.size() * r);
+  apply_struct_muts(/*insert=*/false);
+}
+
+void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
   if (moves.empty()) return;
   std::sort(moves.begin(), moves.end(),
             [](const LevelMove& a, const LevelMove& b) { return a.v < b.v; });
@@ -167,7 +344,19 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
   // Collect affected edges before levels change: every owned edge of a
   // mover, plus (for risers) every edge in A(v, l') with l' < target —
   // those get captured by the riser (batch set-level, Claim 3.4).
-  std::vector<EdgeId> affected;
+  auto& affected = scratch_.affected;
+  affected.clear();
+  size_t need = 0;
+  for (const LevelMove& mv : moves) {
+    const VertexState& vs = verts_[mv.v];
+    need += vs.owned.size();
+    if (mv.to > vs.level) {
+      for (const auto& ls : vs.a_sets) {
+        if (ls.level < mv.to) need += ls.set.size();
+      }
+    }
+  }
+  affected.reserve(need);
   for (const LevelMove& mv : moves) {
     VertexState& vs = verts_[mv.v];
     affected.insert(affected.end(), vs.owned.items().begin(),
@@ -184,20 +373,15 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
 
   for (const LevelMove& mv : moves) verts_[mv.v].level = mv.to;
 
-  parallel_sort(pool_, affected);
+  parallel_sort_with(pool_, affected, scratch_.sort_buf);
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
 
   // Recompute level + owner of each affected edge from the new vertex
   // levels (parallel; per-edge state is disjoint).
-  struct Mut {
-    Vertex u = kNoVertex;
-    EdgeId e = kNoEdge;
-    Level old_lvl = 0, new_lvl = 0;
-    uint8_t was_owner = 0, now_owner = 0;
-  };
   const uint32_t r = reg_.max_rank();
-  std::vector<Mut> muts(affected.size() * r);
+  auto& muts = scratch_.move_muts;
+  muts.assign(affected.size() * r, MoveMut{});
   parallel_for(pool_, affected.size(), [&](size_t i) {
     const EdgeId e = affected[i];
     const auto eps = reg_.endpoints(e);
@@ -226,7 +410,7 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
     elevel_[e] = maxl;
     eowner_[e] = new_owner;
     for (size_t j = 0; j < eps.size(); ++j) {
-      Mut& m = muts[i * r + j];
+      MoveMut& m = muts[i * r + j];
       m.u = eps[j];
       m.e = e;
       m.old_lvl = old_lvl;
@@ -238,20 +422,26 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
   cost_.round(affected.size() * r);
 
   // Apply the container moves grouped per vertex; groups are disjoint so
-  // per-vertex containers need no locks.
-  std::vector<Mut> live = pack_values(pool_, muts, [&](size_t i) {
-    const Mut& m = muts[i];
-    if (m.u == kNoVertex) return false;
-    const bool same_container =
-        (m.was_owner && m.now_owner) ||
-        (!m.was_owner && !m.now_owner && m.old_lvl == m.new_lvl);
-    return !same_container;
-  });
-  apply_grouped(
-      pool_, live, [](const Mut& m) { return static_cast<uint64_t>(m.u); },
-      [&](uint64_t key, const Mut* b, const Mut* e) {
+  // per-vertex containers need no locks, and the unique (u, e) keys pin
+  // the applied order independent of grain and thread count.
+  auto& live = scratch_.move_live;
+  pack_values_into(
+      pool_, muts,
+      [&](size_t i) {
+        const MoveMut& m = muts[i];
+        if (m.u == kNoVertex) return false;
+        const bool same_container =
+            (m.was_owner && m.now_owner) ||
+            (!m.was_owner && !m.now_owner && m.old_lvl == m.new_lvl);
+        return !same_container;
+      },
+      live, scratch_.pack_flags);
+  apply_grouped_unique(
+      pool_, live, [](const MoveMut& m) { return m.key(); },
+      [](uint64_t k) { return k >> 32; },
+      [&](uint64_t key, const MoveMut* b, const MoveMut* e) {
         VertexState& vs = verts_[static_cast<Vertex>(key)];
-        for (const Mut* m = b; m != e; ++m) {
+        for (const MoveMut* m = b; m != e; ++m) {
           if (m->was_owner) {
             vs.owned.erase(m->e);
           } else {
@@ -264,17 +454,18 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove> moves) {
           }
         }
       },
-      &cost_);
+      scratch_.move_groups, &cost_);
 
   // Refresh S_l membership of every touched vertex.
-  std::vector<Vertex> touched;
+  auto& touched = scratch_.moved_touched;
+  touched.clear();
   touched.reserve(moves.size() + affected.size() * r);
   for (const LevelMove& mv : moves) touched.push_back(mv.v);
   for (const EdgeId e : affected) {
     const auto eps = reg_.endpoints(e);
     touched.insert(touched.end(), eps.begin(), eps.end());
   }
-  parallel_sort(pool_, touched);
+  parallel_sort_with(pool_, touched, scratch_.sort_buf);
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   refresh_s_membership_all(touched);
 }
@@ -335,17 +526,23 @@ void DynamicMatcher::dissolve_d(EdgeId e) {
   d->clear();
 }
 
-void DynamicMatcher::temp_delete(EdgeId f, EdgeId responsible) {
+void DynamicMatcher::temp_delete_bookkeep(EdgeId f, EdgeId responsible) {
   PDMM_DASSERT(!(eflags_[f] & (kMatched | kTempDeleted)));
-  remove_edge_from_structures(f);
   eflags_[f] |= kTempDeleted;
   eresp_[f] = responsible;
-  if (!edge_d_[responsible]) edge_d_[responsible] = std::make_unique<IndexedSet>();
+  if (!edge_d_[responsible])
+    edge_d_[responsible] = std::make_unique<IndexedSet>();
   edge_d_[responsible]->insert(f);
   ++stats_.temp_deleted;
   if (cfg_.collect_epoch_stats) {
     epochs_.d_size_at_creation[static_cast<size_t>(elevel_[responsible])]++;
   }
+}
+
+void DynamicMatcher::temp_delete(EdgeId f, EdgeId responsible) {
+  PDMM_DASSERT(!(eflags_[f] & (kMatched | kTempDeleted)));
+  remove_edge_from_structures(f);
+  temp_delete_bookkeep(f, responsible);
 }
 
 // ---------------------------------------------------------------------------
@@ -354,10 +551,7 @@ void DynamicMatcher::temp_delete(EdgeId f, EdgeId responsible) {
 
 void DynamicMatcher::phase_delete_unmatched(const std::vector<EdgeId>& edges) {
   if (edges.empty()) return;
-  for (EdgeId e : edges) {
-    remove_edge_from_structures(e);
-  }
-  cost_.round(edges.size() * reg_.max_rank());
+  remove_edges_from_structures(edges);
 }
 
 void DynamicMatcher::phase_delete_temp(const std::vector<EdgeId>& edges) {
@@ -375,12 +569,14 @@ void DynamicMatcher::phase_delete_temp(const std::vector<EdgeId>& edges) {
 
 void DynamicMatcher::phase_delete_matched(const std::vector<EdgeId>& edges) {
   if (edges.empty()) return;
+  // Matching bookkeeping (journal, undecided sets, D dissolution) is serial
+  // and cheap; the structural removals — the expensive part — batch.
   for (EdgeId e : edges) {
     set_unmatched(e, /*natural=*/true);
-    remove_edge_from_structures(e);
     dissolve_d(e);
   }
-  cost_.round(edges.size() * reg_.max_rank());
+  cost_.round(edges.size());
+  remove_edges_from_structures(edges);
 }
 
 // ---------------------------------------------------------------------------
@@ -402,7 +598,11 @@ void DynamicMatcher::process_level_step1(Level l) {
 
   // U_free: edges owned by an undecided node of this level whose endpoints
   // are all unmatched. Ownership makes the union duplicate-free.
-  std::vector<EdgeId> candidates;
+  auto& candidates = scratch_.candidates;
+  candidates.clear();
+  size_t need = 0;
+  for (Vertex v : u_nodes) need += verts_[v].owned.size();
+  candidates.reserve(need);
   for (Vertex v : u_nodes) {
     PDMM_DASSERT(verts_[v].matched == kNoEdge && verts_[v].level == l);
     const auto items = verts_[v].owned.items();
@@ -410,15 +610,20 @@ void DynamicMatcher::process_level_step1(Level l) {
   }
   cost_.round(candidates.size() + u_nodes.size());
 
-  std::vector<EdgeId> u_free = pack_values(pool_, candidates, [&](size_t i) {
-    for (Vertex u : reg_.endpoints(candidates[i])) {
-      if (verts_[u].matched != kNoEdge) return false;
-    }
-    return true;
-  });
+  auto& u_free = scratch_.free_edges;
+  pack_values_into(
+      pool_, candidates,
+      [&](size_t i) {
+        for (Vertex u : reg_.endpoints(candidates[i])) {
+          if (verts_[u].matched != kNoEdge) return false;
+        }
+        return true;
+      },
+      u_free, scratch_.pack_flags);
   cost_.round(candidates.size() * reg_.max_rank());
 
-  std::vector<LevelMove> moves;
+  auto& moves = scratch_.moves;
+  moves.clear();
   if (!u_free.empty()) {
     StaticMMResult mm = static_maximal_matching(
         pool_, reg_, u_free,
@@ -438,7 +643,7 @@ void DynamicMatcher::process_level_step1(Level l) {
       u_set.erase(v);
     }
   }
-  apply_level_moves(std::move(moves));
+  apply_level_moves(moves);
   PDMM_ASSERT(u_set.empty());
 }
 
@@ -451,15 +656,20 @@ void DynamicMatcher::phase_insert(const std::vector<EdgeId>& ids) {
   grow_edges(reg_.id_bound());
 
   // S_free: inserted edges whose endpoints are all currently unmatched.
-  std::vector<EdgeId> s_free = pack_values(pool_, ids, [&](size_t i) {
-    for (Vertex u : reg_.endpoints(ids[i])) {
-      if (verts_[u].matched != kNoEdge) return false;
-    }
-    return true;
-  });
+  auto& s_free = scratch_.free_edges;
+  pack_values_into(
+      pool_, ids,
+      [&](size_t i) {
+        for (Vertex u : reg_.endpoints(ids[i])) {
+          if (verts_[u].matched != kNoEdge) return false;
+        }
+        return true;
+      },
+      s_free, scratch_.pack_flags);
   cost_.round(ids.size() * reg_.max_rank());
 
-  std::vector<LevelMove> moves;
+  auto& moves = scratch_.moves;
+  moves.clear();
   if (!s_free.empty()) {
     StaticMMResult mm = static_maximal_matching(
         pool_, reg_, s_free, hash_mix(cfg_.seed, batch_counter_, 0x1A5E47ull),
@@ -470,10 +680,9 @@ void DynamicMatcher::phase_insert(const std::vector<EdgeId>& ids) {
       for (Vertex u : reg_.endpoints(e)) moves.push_back({u, 0});
     }
   }
-  apply_level_moves(std::move(moves));
+  apply_level_moves(moves);
 
-  for (EdgeId e : ids) insert_edge_into_structures(e);
-  cost_.round(ids.size() * reg_.max_rank());
+  insert_edges_into_structures(ids);
 }
 
 size_t DynamicMatcher::total_undecided() const {
@@ -551,7 +760,8 @@ void DynamicMatcher::rebuild() {
   cost_.round(all.size());
   // From scratch everything is free: one static MM seeds the matching (all
   // matched edges at level 0), then every edge enters the structures.
-  std::vector<LevelMove> moves;
+  auto& moves = scratch_.moves;
+  moves.clear();
   if (!all.empty()) {
     StaticMMResult mm = static_maximal_matching(
         pool_, reg_, all, hash_mix(cfg_.seed, batch_counter_, 0x4eb01dull),
@@ -562,9 +772,8 @@ void DynamicMatcher::rebuild() {
       for (Vertex u : reg_.endpoints(e)) moves.push_back({u, 0});
     }
   }
-  apply_level_moves(std::move(moves));
-  for (EdgeId e : all) insert_edge_into_structures(e);
-  cost_.round(all.size() * reg_.max_rank());
+  apply_level_moves(moves);
+  insert_edges_into_structures(all);
 }
 
 void DynamicMatcher::maybe_rebuild(size_t incoming_updates) {

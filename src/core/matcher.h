@@ -39,12 +39,14 @@
 #include "core/config.h"
 #include "core/epoch_stats.h"
 #include "core/level_scheme.h"
+#include "dict/batch_ops.h"
 #include "graph/registry.h"
 #include "graph/types.h"
 #include "parallel/cost_model.h"
 #include "parallel/thread_pool.h"
 #include "util/indexed_set.h"
 #include "util/rng.h"
+#include "util/small_vector.h"
 
 namespace pdmm {
 
@@ -177,8 +179,16 @@ class DynamicMatcher {
   struct VertexState {
     Level level = kUnmatchedLevel;
     EdgeId matched = kNoEdge;
-    IndexedSet owned;                // O(v)
-    std::vector<LevelSet> a_sets;    // sparse A(v, l), non-empty levels only
+    // S_l membership of this vertex as a bitmask (bit l set iff v in S_l).
+    // Cached so structural updates only touch the shared S_l sets when the
+    // membership actually flips — the common case is no change, which the
+    // mask detects with pure arithmetic instead of L hash probes.
+    uint64_t s_mask = 0;
+    IndexedSet owned;  // O(v)
+    // Sparse A(v, l), non-empty levels only. The first two level sets live
+    // inline in the VertexState (low-degree vertices almost never have
+    // more), so the common structural update chases no heap pointer.
+    SmallVector<LevelSet, 2> a_sets;
 
     const IndexedSet* find_a(Level l) const {
       for (const auto& ls : a_sets)
@@ -208,6 +218,78 @@ class DynamicMatcher {
   struct LevelMove {
     Vertex v;
     Level to;
+  };
+
+  // One per-vertex container mutation of a batch-parallel structural phase:
+  // add (insert phase) or drop (delete phases) edge e in u's owned set or
+  // A(u, lvl). Keyed by (u << 32) | e — unique per record — so the grouped
+  // application order is a pure function of the record set.
+  struct StructMut {
+    Vertex u = kNoVertex;
+    EdgeId e = kNoEdge;
+    Level lvl = 0;
+    uint8_t is_owner = 0;
+
+    uint64_t key() const {
+      return (static_cast<uint64_t>(u) << 32) | e;
+    }
+  };
+
+  // Mutation record of apply_level_moves: edge e moves between containers
+  // of vertex u as levels change.
+  struct MoveMut {
+    Vertex u = kNoVertex;
+    EdgeId e = kNoEdge;
+    Level old_lvl = 0, new_lvl = 0;
+    uint8_t was_owner = 0, now_owner = 0;
+
+    uint64_t key() const {
+      return (static_cast<uint64_t>(u) << 32) | e;
+    }
+  };
+
+  // One S_l membership flip: vertex v enters (add) or leaves S_lvl. Keyed
+  // by (lvl << 32) | v and grouped by level, so per-level applications run
+  // in parallel with a deterministic in-level order.
+  struct SMut {
+    Level lvl = 0;
+    Vertex v = kNoVertex;
+    uint8_t add = 0;
+
+    uint64_t key() const {
+      return (static_cast<uint64_t>(static_cast<uint32_t>(lvl)) << 32) | v;
+    }
+  };
+
+  // Batch-scoped scratch arena: every buffer a hot phase needs, reused
+  // across calls so the steady-state update path allocates nothing. Buffers
+  // are grouped by the (non-reentrant) routine that owns them; routines
+  // that call each other use disjoint groups.
+  struct Scratch {
+    // apply_level_moves
+    std::vector<EdgeId> affected;
+    std::vector<MoveMut> move_muts, move_live;
+    std::vector<Vertex> moved_touched;
+    GroupScratch<MoveMut> move_groups;
+    // insert_edges_into_structures / remove_edges_from_structures
+    std::vector<StructMut> struct_muts, struct_live;
+    std::vector<Vertex> struct_touched;
+    GroupScratch<StructMut> struct_groups;
+    // refresh_s_membership_all
+    std::vector<uint64_t> s_deltas;
+    std::vector<SMut> s_muts;
+    GroupScratch<SMut> s_groups;
+    // process_level_step1 / phase_insert
+    std::vector<EdgeId> candidates, free_edges;
+    std::vector<LevelMove> moves;
+    // settle machinery (grand_random_settle / subsubsettle)
+    std::vector<Vertex> settle_b, settle_kept;
+    std::vector<EdgeId> settle_eprime, settle_marked, settle_lifted;
+    std::vector<EdgeId> adopted;  // E' edges temp-deleted this iteration
+    // shared pack flag buffer (single pack in flight at a time)
+    std::vector<uint8_t> pack_flags;
+    // parallel_sort merge buffers for id/vertex sorts
+    std::vector<uint32_t> sort_buf;
   };
 
   // ---- update pipeline phases (matcher.cpp) ----
@@ -245,19 +327,39 @@ class DynamicMatcher {
   // ---- structural primitives ----
   // Moves each (v, to) to its new level, then restores edge ownership and
   // level invariants for every affected edge (batch set-level, Claim 3.4).
-  void apply_level_moves(std::vector<LevelMove> moves);
+  // `moves` is consumed as working storage (sorted, then left unspecified);
+  // callers pass scratch_.moves.
+  void apply_level_moves(std::vector<LevelMove>& moves);
+  // Batch-parallel insertion/removal of many edges: a read-only parallel
+  // pass computes one StructMut per (edge, endpoint), the records apply
+  // grouped per vertex (lock-free EREW), and S_l membership refreshes once
+  // over the touched vertex set.
+  void insert_edges_into_structures(const std::vector<EdgeId>& ids);
+  void remove_edges_from_structures(const std::vector<EdgeId>& ids);
+  // Shared tail of the two batch phases above: pack the live records of
+  // scratch_.struct_muts, apply them grouped per vertex, refresh S_l.
+  void apply_struct_muts(bool insert);
   void insert_edge_into_structures(EdgeId e);
   void remove_edge_from_structures(EdgeId e);
   std::vector<EdgeId> collect_o_tilde(Vertex v, Level l) const;
+  void append_o_tilde(Vertex v, Level l, std::vector<EdgeId>& out) const;
 
   // ---- matching bookkeeping ----
   void set_matched(EdgeId e, Level l);      // epoch create
   void set_unmatched(EdgeId e, bool natural);  // epoch end; marks undecided
   void dissolve_d(EdgeId e);                // queue D(e) for reinsertion
   void temp_delete(EdgeId e, EdgeId responsible);
+  // temp_delete minus the structural removal, for callers that batch the
+  // removals (the subsubsettle adoption step).
+  void temp_delete_bookkeep(EdgeId e, EdgeId responsible);
 
   // ---- misc ----
+  // o~(v, l) profile of v folded into the S_l membership bitmask.
+  uint64_t compute_s_mask(Vertex v) const;
   void refresh_s_membership(Vertex v);
+  // Grouped-parallel refresh over a sorted, duplicate-free vertex set: one
+  // parallel pass recomputes the masks (disjoint per-vertex writes), the
+  // rare flips expand into SMut records applied grouped per level.
   void refresh_s_membership_all(const std::vector<Vertex>& touched);
   void grow_vertices(Vertex bound);
   void grow_edges(size_t bound);
@@ -294,6 +396,8 @@ class DynamicMatcher {
 
   size_t matching_size_ = 0;
   uint64_t updates_used_ = 0;
+
+  Scratch scratch_;
 
   MatcherStats stats_;
   EpochStats epochs_;

@@ -21,7 +21,8 @@ uint64_t DynamicMatcher::settle_rng_stream() const {
 void DynamicMatcher::refresh_settle_sets(Level l, std::vector<Vertex>& b,
                                          std::vector<EdgeId>& e_prime) {
   const uint64_t keep_threshold = scheme_.rise_threshold(l) / 2;
-  std::vector<Vertex> kept;
+  auto& kept = scratch_.settle_kept;
+  kept.clear();
   kept.reserve(b.size());
   for (Vertex v : b) {
     if (verts_[v].level < l && o_tilde(v, l) >= keep_threshold)
@@ -29,11 +30,8 @@ void DynamicMatcher::refresh_settle_sets(Level l, std::vector<Vertex>& b,
   }
   b.swap(kept);
   e_prime.clear();
-  for (Vertex v : b) {
-    const std::vector<EdgeId> mine = collect_o_tilde(v, l);
-    e_prime.insert(e_prime.end(), mine.begin(), mine.end());
-  }
-  parallel_sort(pool_, e_prime);
+  for (Vertex v : b) append_o_tilde(v, l, e_prime);
+  parallel_sort_with(pool_, e_prime, scratch_.sort_buf);
   e_prime.erase(std::unique(e_prime.begin(), e_prime.end()), e_prime.end());
   cost_.round(b.size() + e_prime.size());
 }
@@ -74,22 +72,23 @@ void DynamicMatcher::lift_edge(EdgeId e, Level l) {
 }
 
 void DynamicMatcher::grand_random_settle(Level l) {
-  std::vector<Vertex> b(s_[static_cast<size_t>(l)].items().begin(),
-                        s_[static_cast<size_t>(l)].items().end());
+  auto& b = scratch_.settle_b;
+  b.assign(s_[static_cast<size_t>(l)].items().begin(),
+           s_[static_cast<size_t>(l)].items().end());
   if (b.empty()) return;
   ++settle_counter_;
   ++stats_.settles;
 
-  std::vector<EdgeId> e_prime;
+  auto& e_prime = scratch_.settle_eprime;
+  e_prime.clear();
   {
     // Initial E' from the full B = S_l (no threshold filtering yet; every
     // member has o~ >= alpha^l by the S_l definition).
     for (Vertex v : b) {
       PDMM_DASSERT(verts_[v].level < l);
-      const std::vector<EdgeId> mine = collect_o_tilde(v, l);
-      e_prime.insert(e_prime.end(), mine.begin(), mine.end());
+      append_o_tilde(v, l, e_prime);
     }
-    parallel_sort(pool_, e_prime);
+    parallel_sort_with(pool_, e_prime, scratch_.sort_buf);
     e_prime.erase(std::unique(e_prime.begin(), e_prime.end()),
                   e_prime.end());
     cost_.round(b.size() + e_prime.size());
@@ -111,7 +110,10 @@ void DynamicMatcher::grand_random_settle(Level l) {
   while (!b.empty()) {
     if (repeats++ >= cfg_.max_settle_repeats) {
       ++stats_.settle_fallbacks;
-      sequential_settle_fallback(l, b);
+      // The fallback settles vertices one at a time and re-enters the
+      // scratch-using helpers, so hand it a stable copy of the residue.
+      const std::vector<Vertex> residue(b.begin(), b.end());
+      sequential_settle_fallback(l, residue);
       break;
     }
     ++stats_.subsettles;
@@ -139,9 +141,11 @@ size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
                static_cast<double>(scheme_.alpha_pow(l + 2)));
   const uint64_t mark_stream =
       hash_mix(settle_rng_stream(), iter_salt, 0x3a4bULL);
-  std::vector<EdgeId> marked = pack_values(pool_, e_prime, [&](size_t i) {
-    return rng_.uniform(mark_stream, e_prime[i]) < p;
-  });
+  auto& marked = scratch_.settle_marked;
+  pack_values_into(
+      pool_, e_prime,
+      [&](size_t i) { return rng_.uniform(mark_stream, e_prime[i]) < p; },
+      marked, scratch_.pack_flags);
   cost_.round(e_prime.size());
   if (marked.empty()) return 0;
 
@@ -156,12 +160,16 @@ size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
       }
     }
   }
-  std::vector<EdgeId> lifted = pack_values(pool_, marked, [&](size_t i) {
-    for (Vertex u : reg_.endpoints(marked[i])) {
-      if (*marked_deg.find(u) != 1) return false;
-    }
-    return true;
-  });
+  auto& lifted = scratch_.settle_lifted;
+  pack_values_into(
+      pool_, marked,
+      [&](size_t i) {
+        for (Vertex u : reg_.endpoints(marked[i])) {
+          if (*marked_deg.find(u) != 1) return false;
+        }
+        return true;
+      },
+      lifted, scratch_.pack_flags);
   cost_.round(marked.size() * reg_.max_rank());
   if (lifted.empty()) return 0;
 
@@ -179,24 +187,35 @@ size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
   cost_.round(lifted.size() * reg_.max_rank() + kicked.size());
 
   // Add lifted edges to M at level l and raise their endpoints.
-  std::vector<LevelMove> moves;
+  auto& moves = scratch_.moves;
+  moves.clear();
   for (EdgeId e : lifted) {
     lift_edge(e, l);
     for (Vertex u : reg_.endpoints(e)) moves.push_back({u, l});
   }
-  apply_level_moves(std::move(moves));
+  apply_level_moves(moves);
 
   // Adopt surviving E' edges whose h-choice landed inside a lifted edge
-  // into that edge's D set (temporarily deleting them).
+  // into that edge's D set (temporarily deleting them). The structural
+  // removals batch through the grouped pipeline; the D-set bookkeeping is
+  // serial and cheap.
+  auto& adopted = scratch_.adopted;
+  adopted.clear();
   for (EdgeId eprime_edge : e_prime) {
     if (eflags_[eprime_edge] & kMatched) continue;  // lifted or still in M
     if (kicked_set.contains(eprime_edge)) continue;  // already out + queued
     PDMM_DASSERT(!(eflags_[eprime_edge] & kTempDeleted));
     const uint32_t* hv = h_choice.find(eprime_edge);
     PDMM_DASSERT(hv != nullptr);
-    const uint32_t* owner_edge = lifted_at.find(*hv);
-    if (!owner_edge) continue;
-    temp_delete(eprime_edge, *owner_edge);
+    if (!lifted_at.contains(*hv)) continue;
+    adopted.push_back(eprime_edge);
+  }
+  if (!adopted.empty()) {
+    remove_edges_from_structures(adopted);
+    for (EdgeId f : adopted) {
+      const uint32_t* owner_edge = lifted_at.find(*h_choice.find(f));
+      temp_delete_bookkeep(f, *owner_edge);
+    }
   }
   cost_.round(e_prime.size());
 
@@ -243,9 +262,10 @@ void DynamicMatcher::random_settle_single(Vertex v, Level l) {
   kick_conflicting_matches(e, kicked);
   lift_edge(e, l);
 
-  std::vector<LevelMove> moves;
+  auto& moves = scratch_.moves;
+  moves.clear();
   for (Vertex u : reg_.endpoints(e)) moves.push_back({u, l});
-  apply_level_moves(std::move(moves));
+  apply_level_moves(moves);
 
   // D(e) <- the rest of O~(v, l). Kicked edges are already out of the
   // structures (queued for reinsertion), so they must not be re-deleted.

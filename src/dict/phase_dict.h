@@ -74,13 +74,16 @@ class PhaseDict {
   }
 
   // retrieve(): dense snapshot of all live (key, value) pairs; O(capacity)
-  // work which is O(live) by the load-factor invariant.
+  // work which is O(live) by the load-factor invariant. Per-block staging
+  // buffers are indexed by the block id the runtime passes through — never
+  // re-derived from a stride assumption about the callee's chunking.
   std::vector<std::pair<uint64_t, Value>> retrieve(ThreadPool& pool) const {
     const size_t cap = keys_.size();
-    const size_t nblocks = (cap + kDefaultGrain - 1) / kDefaultGrain;
+    const size_t grain = resolve_grain(cap, kAutoGrain, kDefaultGrain);
+    const size_t nblocks = (cap + grain - 1) / grain;
     std::vector<std::vector<std::pair<uint64_t, Value>>> per_block(nblocks);
-    parallel_for_blocked(pool, cap, [&](size_t b, size_t e) {
-      auto& out = per_block[b / kDefaultGrain];
+    parallel_for_blocks(pool, cap, grain, [&](size_t blk, size_t b, size_t e) {
+      auto& out = per_block[blk];
       for (size_t i = b; i < e; ++i) {
         const uint64_t k = keys_[i].load(std::memory_order_relaxed);
         if (k != kEmpty && k != kTomb) out.emplace_back(k, vals_[i]);

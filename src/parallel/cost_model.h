@@ -12,9 +12,28 @@
 // workers never touch them, so no synchronization is needed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace pdmm {
+
+// Grain auto-sizing for the parallel primitives. Two costs bound a chunk
+// size from opposite sides: chunks must be large enough to amortize the
+// scheduling overhead of one claim (min_grain), and a region should not be
+// carved into more chunks than load balancing can use. Capping the chunk
+// count keeps the atomic-cursor traffic of huge regions bounded.
+//
+// Determinism contract: the grain is a function of n (and the per-primitive
+// min_grain) ONLY — never of the thread count. Several consumers feed
+// chunk-structured results into order-sensitive state (the blocked sort's
+// tie order, the grouped-apply record order), so a thread-dependent grain
+// would make matcher state diverge across thread counts.
+inline constexpr size_t kMaxChunksPerRegion = 64;
+
+inline constexpr size_t auto_grain(size_t n, size_t min_grain) {
+  const size_t balanced = (n + kMaxChunksPerRegion - 1) / kMaxChunksPerRegion;
+  return balanced > min_grain ? balanced : min_grain;
+}
 
 struct CostCounters {
   uint64_t work = 0;    // total element operations

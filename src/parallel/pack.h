@@ -1,6 +1,15 @@
 // Parallel pack / filter: keep the elements whose flag is set, preserving
-// order, via an exclusive scan of the flags. This is the standard
-// work-efficient O(n) / O(log n)-depth filter of the work/depth model.
+// order. This is the standard work-efficient O(n) / O(log n)-depth filter
+// of the work/depth model, implemented as a blocked two-pass: pass 1
+// evaluates the predicate into a flag array and counts per block, a serial
+// scan of the (few) block counts assigns output offsets, and pass 2 writes
+// the survivors. Two parallel rounds total — fork/join overhead is the
+// dominant cost of a pack at matcher scales, so the round count matters
+// more than the instruction count.
+//
+// The *_into variants reuse caller-provided output and flag buffers so the
+// hot phases of the matcher can run allocation-free (see the scratch arena
+// in core/matcher.h).
 #pragma once
 
 #include <cstddef>
@@ -8,47 +17,99 @@
 #include <vector>
 
 #include "parallel/parallel_for.h"
-#include "parallel/scan.h"
 #include "parallel/thread_pool.h"
 
 namespace pdmm {
 
+namespace detail {
+
+// Shared two-pass skeleton: flags[i] = pred(i), out gets emit(i) for every
+// flagged i in increasing order.
+template <typename Pred, typename Emit, typename Out>
+void pack_two_pass(ThreadPool& pool, size_t n, Pred&& pred, Emit&& emit,
+                   std::vector<Out>& out, std::vector<uint8_t>& flags,
+                   size_t grain) {
+  out.clear();
+  if (n == 0) return;
+  grain = resolve_grain(n, grain, kDefaultGrain);
+  flags.resize(n);
+
+  const size_t num_blocks = (n + grain - 1) / grain;
+  if (num_blocks == 1 || pool.num_threads() == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(emit(i));
+    }
+    return;
+  }
+
+  std::vector<size_t> block_counts(num_blocks);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    size_t c = 0;
+    for (size_t i = b; i < e; ++i) {
+      const bool keep = pred(i);
+      flags[i] = keep ? 1 : 0;
+      c += keep;
+    }
+    block_counts[blk] = c;
+  });
+
+  size_t total = 0;
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    const size_t c = block_counts[blk];
+    block_counts[blk] = total;
+    total += c;
+  }
+
+  out.resize(total);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    size_t off = block_counts[blk];
+    for (size_t i = b; i < e; ++i) {
+      if (flags[i]) out[off++] = emit(i);
+    }
+  });
+}
+
+}  // namespace detail
+
+// Packs the i in [0, n) for which pred(i) is true into `out`, increasing.
+template <typename Pred>
+void pack_indices_into(ThreadPool& pool, size_t n, Pred&& pred,
+                       std::vector<uint32_t>& out,
+                       std::vector<uint8_t>& flags,
+                       size_t grain = kAutoGrain) {
+  detail::pack_two_pass(
+      pool, n, pred, [](size_t i) { return static_cast<uint32_t>(i); }, out,
+      flags, grain);
+}
+
 // Returns the i in [0, n) for which pred(i) is true, in increasing order.
 template <typename Pred>
 std::vector<uint32_t> pack_indices(ThreadPool& pool, size_t n, Pred&& pred,
-                                   size_t grain = kDefaultGrain) {
-  std::vector<uint32_t> flags(n);
-  parallel_for(
-      pool, n, [&](size_t i) { flags[i] = pred(i) ? 1u : 0u; }, grain);
-  std::vector<uint32_t> offsets;
-  const uint32_t total = scan_exclusive(pool, flags, offsets, grain);
-  std::vector<uint32_t> out(total);
-  parallel_for(
-      pool, n,
-      [&](size_t i) {
-        if (flags[i]) out[offsets[i]] = static_cast<uint32_t>(i);
-      },
-      grain);
+                                   size_t grain = kAutoGrain) {
+  std::vector<uint32_t> out;
+  std::vector<uint8_t> flags;
+  pack_indices_into(pool, n, pred, out, flags, grain);
   return out;
+}
+
+// Packs values[i] for which pred(i) holds into `out`, preserving order.
+template <typename T, typename Pred>
+void pack_values_into(ThreadPool& pool, const std::vector<T>& values,
+                      Pred&& pred, std::vector<T>& out,
+                      std::vector<uint8_t>& flags,
+                      size_t grain = kAutoGrain) {
+  detail::pack_two_pass(
+      pool, values.size(), pred, [&](size_t i) { return values[i]; }, out,
+      flags, grain);
 }
 
 // Packs values[i] for which pred(i) holds, preserving order.
 template <typename T, typename Pred>
 std::vector<T> pack_values(ThreadPool& pool, const std::vector<T>& values,
-                           Pred&& pred, size_t grain = kDefaultGrain) {
-  const size_t n = values.size();
-  std::vector<uint32_t> flags(n);
-  parallel_for(
-      pool, n, [&](size_t i) { flags[i] = pred(i) ? 1u : 0u; }, grain);
-  std::vector<uint32_t> offsets;
-  const uint32_t total = scan_exclusive(pool, flags, offsets, grain);
-  std::vector<T> out(total);
-  parallel_for(
-      pool, n,
-      [&](size_t i) {
-        if (flags[i]) out[offsets[i]] = values[i];
-      },
-      grain);
+                           Pred&& pred, size_t grain = kAutoGrain) {
+  std::vector<T> out;
+  std::vector<uint8_t> flags;
+  pack_values_into(pool, values, pred, out, flags, grain);
   return out;
 }
 

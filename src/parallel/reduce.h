@@ -15,22 +15,20 @@ namespace pdmm {
 // (per-chunk partials are combined in block order).
 template <typename T, typename F, typename Op>
 T parallel_reduce(ThreadPool& pool, size_t n, T identity, F&& f, Op&& op,
-                  size_t grain = kDefaultGrain) {
+                  size_t grain = kAutoGrain) {
   if (n == 0) return identity;
+  grain = resolve_grain(n, grain, kDefaultGrain);
   const size_t num_blocks = (n + grain - 1) / grain;
   // A plain array, not std::vector<T>: vector<bool> bit-packs, so adjacent
   // partial slots would share a word and the concurrent per-block writes
   // below would race.
   std::unique_ptr<T[]> partials(new T[num_blocks]);
   std::fill_n(partials.get(), num_blocks, identity);
-  parallel_for_blocked(
-      pool, n,
-      [&](size_t b, size_t e) {
-        T acc = identity;
-        for (size_t i = b; i < e; ++i) acc = op(acc, f(i));
-        partials[b / grain] = acc;
-      },
-      grain);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    T acc = identity;
+    for (size_t i = b; i < e; ++i) acc = op(acc, f(i));
+    partials[blk] = acc;
+  });
   T acc = identity;
   for (size_t i = 0; i < num_blocks; ++i) acc = op(acc, partials[i]);
   return acc;
@@ -38,7 +36,7 @@ T parallel_reduce(ThreadPool& pool, size_t n, T identity, F&& f, Op&& op,
 
 template <typename F>
 uint64_t parallel_sum(ThreadPool& pool, size_t n, F&& f,
-                      size_t grain = kDefaultGrain) {
+                      size_t grain = kAutoGrain) {
   return parallel_reduce<uint64_t>(
       pool, n, 0, std::forward<F>(f),
       [](uint64_t a, uint64_t b) { return a + b; }, grain);
@@ -46,7 +44,7 @@ uint64_t parallel_sum(ThreadPool& pool, size_t n, F&& f,
 
 template <typename F>
 bool parallel_any(ThreadPool& pool, size_t n, F&& f,
-                  size_t grain = kDefaultGrain) {
+                  size_t grain = kAutoGrain) {
   return parallel_reduce<bool>(
       pool, n, false, std::forward<F>(f),
       [](bool a, bool b) { return a || b; }, grain);

@@ -14,13 +14,16 @@ namespace pdmm {
 
 // Exclusive prefix sum of `in` into `out` (may alias); returns the total.
 // Two passes: per-block sums, serial scan of block sums (#blocks is small),
-// then per-block local scan with the block offset.
+// then per-block local scan with the block offset. The per-block side array
+// is indexed by the block id the callback passes through, so it stays
+// correct for any grain.
 template <typename T>
 T scan_exclusive(ThreadPool& pool, const std::vector<T>& in,
-                 std::vector<T>& out, size_t grain = kDefaultGrain) {
+                 std::vector<T>& out, size_t grain = kAutoGrain) {
   const size_t n = in.size();
   out.resize(n);
   if (n == 0) return T{0};
+  grain = resolve_grain(n, grain, kDefaultGrain);
   if (n <= grain || pool.num_threads() == 1) {
     T acc{0};
     for (size_t i = 0; i < n; ++i) {
@@ -33,14 +36,11 @@ T scan_exclusive(ThreadPool& pool, const std::vector<T>& in,
 
   const size_t num_blocks = (n + grain - 1) / grain;
   std::vector<T> block_sums(num_blocks);
-  parallel_for_blocked(
-      pool, n,
-      [&](size_t b, size_t e) {
-        T acc{0};
-        for (size_t i = b; i < e; ++i) acc += in[i];
-        block_sums[b / grain] = acc;
-      },
-      grain);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    T acc{0};
+    for (size_t i = b; i < e; ++i) acc += in[i];
+    block_sums[blk] = acc;
+  });
 
   T total{0};
   for (size_t blk = 0; blk < num_blocks; ++blk) {
@@ -49,17 +49,14 @@ T scan_exclusive(ThreadPool& pool, const std::vector<T>& in,
     total += v;
   }
 
-  parallel_for_blocked(
-      pool, n,
-      [&](size_t b, size_t e) {
-        T acc = block_sums[b / grain];
-        for (size_t i = b; i < e; ++i) {
-          const T v = in[i];
-          out[i] = acc;
-          acc += v;
-        }
-      },
-      grain);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    T acc = block_sums[blk];
+    for (size_t i = b; i < e; ++i) {
+      const T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+  });
   return total;
 }
 

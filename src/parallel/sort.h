@@ -2,6 +2,14 @@
 // of runs level by level (each merge split in two around a median so both
 // halves merge in parallel). O(n log n) work, O(log^2 n) depth — sufficient
 // for the polylog-depth budget of every phase that sorts.
+//
+// Determinism contract: the result is a pure function of (input, grain) —
+// the block partition fixes which std::sort/std::merge calls happen, and
+// each of those is deterministic. The grain defaults to a function of n
+// only (never the thread count), so equal-key orderings are identical
+// across pool sizes. Callers whose downstream state depends on the order
+// of equal keys should still prefer total-order comparators (see
+// dict/batch_ops.h) — that makes the order independent of the grain too.
 #pragma once
 
 #include <algorithm>
@@ -13,10 +21,16 @@
 
 namespace pdmm {
 
+inline constexpr size_t kSortSerialCutoff = size_t{1} << 13;
+
+// Sorts v; `buf` is the merge scratch (resized as needed, contents
+// clobbered) so repeated sorts in a hot loop can reuse one allocation.
 template <typename T, typename Cmp = std::less<T>>
-void parallel_sort(ThreadPool& pool, std::vector<T>& v, Cmp cmp = Cmp{},
-                   size_t grain = 1 << 13) {
+void parallel_sort_with(ThreadPool& pool, std::vector<T>& v,
+                        std::vector<T>& buf, Cmp cmp = Cmp{},
+                        size_t grain = kAutoGrain) {
   const size_t n = v.size();
+  grain = resolve_grain(n, grain, kSortSerialCutoff);
   if (n <= grain || pool.num_threads() == 1) {
     std::sort(v.begin(), v.end(), cmp);
     return;
@@ -34,8 +48,8 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& v, Cmp cmp = Cmp{},
       },
       1);
 
-  // Merge runs pairwise, ping-ponging between v and a buffer.
-  std::vector<T> buf(n);
+  // Merge runs pairwise, ping-ponging between v and the buffer.
+  buf.resize(n);
   T* src = v.data();
   T* dst = buf.data();
   for (size_t run = grain; run < n; run *= 2) {
@@ -56,17 +70,31 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& v, Cmp cmp = Cmp{},
   }
 }
 
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::vector<T>& v, Cmp cmp = Cmp{},
+                   size_t grain = kAutoGrain) {
+  std::vector<T> buf;
+  parallel_sort_with(pool, v, buf, cmp, grain);
+}
+
 // Stable group-by: sorts (key, payload) pairs by key and returns the start
 // offset of each distinct-key group. Used to realize the EREW discipline:
 // mutations are grouped by target vertex, then applied one group per task.
 template <typename T, typename KeyFn>
-std::vector<size_t> group_boundaries(const std::vector<T>& sorted,
-                                     KeyFn&& key) {
-  std::vector<size_t> starts;
+void group_boundaries_into(const std::vector<T>& sorted, KeyFn&& key,
+                           std::vector<size_t>& starts) {
+  starts.clear();
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i == 0 || key(sorted[i]) != key(sorted[i - 1])) starts.push_back(i);
   }
   starts.push_back(sorted.size());
+}
+
+template <typename T, typename KeyFn>
+std::vector<size_t> group_boundaries(const std::vector<T>& sorted,
+                                     KeyFn&& key) {
+  std::vector<size_t> starts;
+  group_boundaries_into(sorted, key, starts);
   return starts;
 }
 

@@ -8,11 +8,20 @@ namespace pdmm {
 
 thread_local bool ThreadPool::in_parallel_region_ = false;
 
-ThreadPool::ThreadPool(unsigned num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads_ = num_threads;
+ThreadPool::ThreadPool(unsigned num_threads, bool allow_oversubscribe) {
+  // hardware_concurrency() may legitimately return 0 ("unknown"); only
+  // clamp against it when it reported a real value, otherwise honor the
+  // caller's explicit count.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = std::max(1u, hw);
+  // A fork-join pool is CPU-bound by construction: threads beyond the
+  // hardware's parallelism can only preempt each other (and the
+  // coordinator), which measurably *slows down* parallel regions. Matcher
+  // results do not depend on the pool size (value-level determinism), so
+  // clamping is invisible except in wall-clock. Tests opt out to get
+  // preemption-diverse schedules even on small machines.
+  num_threads_ = (hw && !allow_oversubscribe) ? std::min(num_threads, hw)
+                                              : num_threads;
   workers_.reserve(num_threads_ - 1);
   for (unsigned t = 1; t < num_threads_; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -43,36 +52,77 @@ void ThreadPool::run_blocked(size_t n, size_t grain,
     return;
   }
 
+  const size_t chunks = (n + grain - 1) / grain;
+  PDMM_ASSERT_MSG(chunks <= 0xffffffffull,
+                  "run_blocked: chunk count exceeds the claim-word capacity");
+  uint32_t epoch32;
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
     job_n_ = n;
     job_grain_ = grain;
-    cursor_.store(0, std::memory_order_relaxed);
-    pending_workers_.store(num_threads_ - 1, std::memory_order_relaxed);
+    job_chunks_ = chunks;
+    done_chunks_.store(0, std::memory_order_relaxed);
     ++job_epoch_;
+    epoch32 = static_cast<uint32_t>(job_epoch_);
+    claim_.store((static_cast<uint64_t>(epoch32) << 32) | chunks,
+                 std::memory_order_release);
   }
-  job_cv_.notify_all();
+  // Wake no more workers than there are chunks beyond the coordinator's
+  // own; surplus wakeups would only burn scheduler time re-sleeping.
+  const size_t sleepers = num_threads_ - 1;
+  const size_t wake = std::min(sleepers, chunks - 1);
+  if (wake >= sleepers) {
+    job_cv_.notify_all();
+  } else {
+    for (size_t i = 0; i < wake; ++i) job_cv_.notify_one();
+  }
 
-  work_on_current_job();
+  work_on_job(epoch32);
 
-  // Wait for workers to drain; they decrement pending_workers_ when they can
-  // no longer claim a chunk of this job.
+  // Wait until every chunk has been *executed*. Workers that hold no chunk
+  // are irrelevant here — only claimed-but-unfinished chunks keep the
+  // region open.
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [this] {
-    return pending_workers_.load(std::memory_order_acquire) == 0;
+    return done_chunks_.load(std::memory_order_acquire) == job_chunks_;
   });
   body_ = nullptr;
 }
 
-void ThreadPool::work_on_current_job() {
+void ThreadPool::work_on_job(uint32_t epoch32) {
   in_parallel_region_ = true;
   while (true) {
-    const size_t begin =
-        cursor_.fetch_add(job_grain_, std::memory_order_relaxed);
-    if (begin >= job_n_) break;
+    uint64_t cur = claim_.load(std::memory_order_acquire);
+    bool claimed = false;
+    size_t remaining = 0;
+    while ((cur >> 32) == epoch32 && (remaining = cur & 0xffffffffull) != 0) {
+      if (claim_.compare_exchange_weak(cur, cur - 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        claimed = true;
+        break;
+      }
+    }
+    if (!claimed) break;
+    // Safe to read the job descriptor: a successful claim implies the job
+    // is still incomplete, so the coordinator is pinned inside run_blocked
+    // and the fields are stable (and were made visible by the mutex when
+    // this thread observed the epoch). `total` must be a local: the
+    // done_chunks_ increment below is what releases the coordinator, so
+    // reading job_chunks_ after it would race with the next job's setup.
+    const size_t total = job_chunks_;
+    const size_t k = remaining - 1;
+    const size_t begin = k * job_grain_;
     const size_t end = std::min(begin + job_grain_, job_n_);
     (*body_)(begin, end);
+    if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      // Last chunk executed: release the coordinator. Taking the lock
+      // orders this notify after the coordinator parks (or before it
+      // evaluates the predicate), so the wakeup cannot be lost.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
   }
   in_parallel_region_ = false;
 }
@@ -80,18 +130,15 @@ void ThreadPool::work_on_current_job() {
 void ThreadPool::worker_loop(unsigned /*tid*/) {
   uint64_t seen_epoch = 0;
   while (true) {
+    uint32_t epoch32;
     {
       std::unique_lock<std::mutex> lk(mu_);
       job_cv_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = job_epoch_;
+      epoch32 = static_cast<uint32_t>(seen_epoch);
     }
-    work_on_current_job();
-    if (pending_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last worker out signals the coordinating thread.
-      std::lock_guard<std::mutex> lk(mu_);
-      done_cv_.notify_all();
-    }
+    work_on_job(epoch32);
   }
 }
 

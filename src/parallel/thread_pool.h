@@ -3,8 +3,21 @@
 // The pool owns `num_threads - 1` persistent workers; the calling thread
 // participates in every parallel region, so a pool of size 1 degenerates to
 // inline serial execution with no synchronization. Parallel regions hand out
-// fixed-size chunks of an index range through an atomic cursor
+// grain-aligned chunks of an index range through an atomic claim word
 // (self-scheduling), which keeps load balanced without work stealing.
+//
+// Completion is chunk-counted, not worker-counted: a region is done when
+// every *chunk* has been executed, regardless of which threads ran them. A
+// worker that is slow to wake (common when the machine has fewer cores than
+// the pool has threads) simply finds no chunk left and goes back to sleep —
+// it never blocks the coordinating thread, which previously had to wait for
+// every worker to check in and made oversubscribed pools *slower* than
+// serial execution.
+//
+// The claim word packs (epoch, remaining chunks), so a stale worker can
+// never claim into a newer job, and job descriptors are only dereferenced
+// behind a successful claim — which can only happen while the coordinator
+// is still inside the region.
 //
 // The pool is the single scheduling substrate for every parallel primitive
 // in pdmm (parallel_for, scan, pack, sort, the dictionary's batch ops, and
@@ -23,8 +36,15 @@ namespace pdmm {
 
 class ThreadPool {
  public:
-  // num_threads == 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(unsigned num_threads = 0);
+  // num_threads == 0 means std::thread::hardware_concurrency(). Requests
+  // beyond the hardware's parallelism are clamped to it — oversubscribing a
+  // CPU-bound fork-join pool only adds preemption, and matcher results are
+  // independent of the pool size, so the clamp never changes behaviour.
+  // allow_oversubscribe disables the clamp: race/determinism tests use it
+  // so thread counts above the core count still produce genuinely
+  // concurrent (preemption-diverse) schedules on small machines.
+  explicit ThreadPool(unsigned num_threads = 0,
+                      bool allow_oversubscribe = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,10 +52,11 @@ class ThreadPool {
 
   unsigned num_threads() const { return num_threads_; }
 
-  // Runs body(begin, end) over disjoint chunks covering [0, n), each chunk
-  // at most `grain` long. Blocks until all chunks complete. Reentrant calls
-  // from inside a parallel region execute serially (no nested parallelism;
-  // the algorithms in this library never need it).
+  // Runs body(begin, end) over disjoint grain-aligned chunks covering
+  // [0, n): every chunk is [k*grain, min((k+1)*grain, n)) for some k.
+  // Blocks until all chunks complete. Reentrant calls from inside a
+  // parallel region execute serially (no nested parallelism; the
+  // algorithms in this library never need it).
   void run_blocked(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& body);
 
@@ -46,7 +67,7 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned tid);
-  void work_on_current_job();
+  void work_on_job(uint32_t epoch32);
 
   unsigned num_threads_;
   std::vector<std::thread> workers_;
@@ -55,13 +76,20 @@ class ThreadPool {
   std::condition_variable job_cv_;
   std::condition_variable done_cv_;
 
-  // Job description; guarded by mu_ for publication, chunks claimed lock-free.
+  // Job description. Written under mu_ by the coordinator before the claim
+  // word publishes the job; read by participants only behind a successful
+  // claim of that job's epoch (or, for workers, after observing the epoch
+  // advance under mu_), so the plain fields race with nothing.
   const std::function<void(size_t, size_t)>* body_ = nullptr;
   size_t job_n_ = 0;
   size_t job_grain_ = 1;
-  std::atomic<size_t> cursor_{0};
-  std::atomic<size_t> pending_workers_{0};
-  uint64_t job_epoch_ = 0;
+  size_t job_chunks_ = 0;
+  // (epoch32 << 32) | remaining-chunk count. Claims decrement the low half;
+  // chunk k = remaining - 1 is executed as [k*grain, ...). A mismatched
+  // epoch or a zero count means "nothing to claim here".
+  std::atomic<uint64_t> claim_{0};
+  std::atomic<size_t> done_chunks_{0};
+  uint64_t job_epoch_ = 0;  // full-width, guarded by mu_
   bool shutdown_ = false;
   static thread_local bool in_parallel_region_;
 };

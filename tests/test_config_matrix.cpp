@@ -35,7 +35,7 @@ class ConfigMatrix : public testing::TestWithParam<MatrixParams> {};
 
 TEST_P(ConfigMatrix, ChurnStaysSound) {
   const auto p = GetParam();
-  ThreadPool pool(p.threads);
+  ThreadPool pool(p.threads, /*allow_oversubscribe=*/true);
   Config cfg;
   cfg.max_rank = p.rank;
   cfg.seed = p.seed;

@@ -2,8 +2,10 @@
 // grouped application.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "dict/batch_ops.h"
 #include "parallel/pack.h"
@@ -21,7 +23,7 @@ namespace {
 class ParallelAcrossThreads : public testing::TestWithParam<unsigned> {};
 
 TEST_P(ParallelAcrossThreads, ForCoversEveryIndexOnce) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   const size_t n = 100000;
   std::vector<std::atomic<int>> hits(n);
   parallel_for(pool, n, [&](size_t i) { hits[i].fetch_add(1); }, 128);
@@ -29,7 +31,7 @@ TEST_P(ParallelAcrossThreads, ForCoversEveryIndexOnce) {
 }
 
 TEST_P(ParallelAcrossThreads, ScanMatchesSerial) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   Xoshiro256 rng(4);
   std::vector<uint64_t> in(12345);
   for (auto& x : in) x = rng.below(100);
@@ -44,7 +46,7 @@ TEST_P(ParallelAcrossThreads, ScanMatchesSerial) {
 }
 
 TEST_P(ParallelAcrossThreads, ReduceSumAndAny) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   const size_t n = 54321;
   EXPECT_EQ(parallel_sum(pool, n, [](size_t i) { return i; }, 100),
             n * (n - 1) / 2);
@@ -53,7 +55,7 @@ TEST_P(ParallelAcrossThreads, ReduceSumAndAny) {
 }
 
 TEST_P(ParallelAcrossThreads, PackKeepsOrder) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   std::vector<uint32_t> vals(10000);
   std::iota(vals.begin(), vals.end(), 0);
   auto evens =
@@ -66,7 +68,7 @@ TEST_P(ParallelAcrossThreads, PackKeepsOrder) {
 }
 
 TEST_P(ParallelAcrossThreads, SortMatchesStdSort) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   Xoshiro256 rng(8);
   std::vector<uint64_t> v(200000);
   for (auto& x : v) x = rng();
@@ -77,7 +79,7 @@ TEST_P(ParallelAcrossThreads, SortMatchesStdSort) {
 }
 
 TEST_P(ParallelAcrossThreads, SortTinyAndEmpty) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   std::vector<uint64_t> empty;
   parallel_sort(pool, empty);
   EXPECT_TRUE(empty.empty());
@@ -87,30 +89,39 @@ TEST_P(ParallelAcrossThreads, SortTinyAndEmpty) {
 }
 
 TEST_P(ParallelAcrossThreads, ApplyGroupedPartitionsByKey) {
-  ThreadPool pool(GetParam());
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
   struct Rec {
-    uint32_t key;
+    uint32_t group;
+    uint32_t idx;  // makes the full key unique within its group
     uint32_t val;
   };
   Xoshiro256 rng(15);
   std::vector<Rec> recs(5000);
   std::vector<uint64_t> expected(97, 0);
-  for (auto& r : recs) {
-    r.key = static_cast<uint32_t>(rng.below(97));
+  for (uint32_t i = 0; i < recs.size(); ++i) {
+    auto& r = recs[i];
+    r.group = static_cast<uint32_t>(rng.below(97));
+    r.idx = i;
     r.val = static_cast<uint32_t>(rng.below(10));
-    expected[r.key] += r.val;
+    expected[r.group] += r.val;
   }
   std::vector<std::atomic<uint64_t>> got(97);
-  apply_grouped(
-      pool, recs, [](const Rec& r) { return uint64_t{r.key}; },
-      [&](uint64_t key, const Rec* b, const Rec* e) {
+  GroupScratch<Rec> scratch;
+  apply_grouped_unique(
+      pool, recs,
+      [](const Rec& r) {
+        return (static_cast<uint64_t>(r.group) << 32) | r.idx;
+      },
+      [](uint64_t k) { return k >> 32; },
+      [&](uint64_t group, const Rec* b, const Rec* e) {
         uint64_t sum = 0;
         for (const Rec* r = b; r != e; ++r) {
-          EXPECT_EQ(r->key, key);
+          EXPECT_EQ(r->group, group);
           sum += r->val;
         }
-        got[key].fetch_add(sum);
-      });
+        got[group].fetch_add(sum);
+      },
+      scratch);
   for (size_t k = 0; k < 97; ++k) EXPECT_EQ(got[k].load(), expected[k]);
 }
 
@@ -137,6 +148,103 @@ TEST(ThreadPool, ManySmallJobsDoNotLeakOrDeadlock) {
     parallel_for(pool, 8, [&](size_t) { c.fetch_add(1); }, 1);
     ASSERT_EQ(c.load(), 8);
   }
+}
+
+TEST_P(ParallelAcrossThreads, BlocksPassAlignedBlockIndex) {
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
+  const size_t n = 10000;
+  const size_t grain = 128;
+  std::vector<std::atomic<uint32_t>> hits((n + grain - 1) / grain);
+  parallel_for_blocks(pool, n, grain, [&](size_t blk, size_t b, size_t e) {
+    // Blocks are grain-aligned and the passed index matches the range.
+    EXPECT_EQ(b % grain, 0u);
+    EXPECT_EQ(blk, b / grain);
+    EXPECT_LE(e, n);
+    hits[blk].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST_P(ParallelAcrossThreads, PackIntoReusesBuffersAndKeepsOrder) {
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
+  std::vector<uint32_t> vals(30000);
+  std::iota(vals.begin(), vals.end(), 0u);
+  std::vector<uint32_t> out;
+  std::vector<uint8_t> flags;
+  for (int rep = 0; rep < 3; ++rep) {
+    pack_values_into(
+        pool, vals, [&](size_t i) { return vals[i] % 3 == 0; }, out, flags,
+        64);
+    ASSERT_EQ(out.size(), 10000u);
+    for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * 3);
+  }
+}
+
+TEST_P(ParallelAcrossThreads, ApplyGroupedUniqueOrdersWithinGroups) {
+  ThreadPool pool(GetParam(), /*allow_oversubscribe=*/true);
+  struct Rec {
+    uint32_t group;
+    uint32_t item;
+  };
+  Xoshiro256 rng(77);
+  std::vector<Rec> recs(4000);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i] = {static_cast<uint32_t>(rng.below(31)),
+               static_cast<uint32_t>(i)};  // unique within its group
+  }
+  std::vector<std::vector<uint32_t>> got(31);
+  GroupScratch<Rec> scratch;
+  apply_grouped_unique(
+      pool, recs,
+      [](const Rec& r) {
+        return (static_cast<uint64_t>(r.group) << 32) | r.item;
+      },
+      [](uint64_t k) { return k >> 32; },
+      [&](uint64_t g, const Rec* b, const Rec* e) {
+        auto& sink = got[g];
+        for (const Rec* r = b; r != e; ++r) {
+          EXPECT_EQ(r->group, g);
+          sink.push_back(r->item);
+        }
+      },
+      scratch);
+  for (const auto& sink : got) {
+    // Unique total keys pin ascending in-group order for any grain/threads.
+    EXPECT_TRUE(std::is_sorted(sink.begin(), sink.end()));
+  }
+  size_t total = 0;
+  for (const auto& sink : got) total += sink.size();
+  EXPECT_EQ(total, recs.size());
+}
+
+TEST(ThreadPool, ClampsToHardwareConcurrency) {
+  // When hardware_concurrency() reports 0 ("unknown"), the pool honors the
+  // caller's count instead of clamping — mirror that contract here.
+  const unsigned hw = std::thread::hardware_concurrency();
+  ThreadPool pool(hw + 13);
+  EXPECT_EQ(pool.num_threads(), hw ? hw : hw + 13);
+  ThreadPool small(1);
+  EXPECT_EQ(small.num_threads(), 1u);
+}
+
+TEST(ThreadPool, LargeRegionsCompleteWithManyThreads) {
+  // Regression net for the chunk-claim completion protocol: many regions
+  // of varying sizes, all must complete with every chunk executed once.
+  ThreadPool pool(8, /*allow_oversubscribe=*/true);
+  Xoshiro256 rng(5);
+  for (int it = 0; it < 300; ++it) {
+    const size_t n = 1 + rng.below(50000);
+    std::vector<std::atomic<uint8_t>> hit(n);
+    parallel_for(pool, n, [&](size_t i) { hit[i].fetch_add(1); }, 64);
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(hit[i].load(), 1u) << i;
+  }
+}
+
+TEST(CostModel, AutoGrainIsThreadIndependent) {
+  // The contract the deterministic sorts rely on: grain depends on n only.
+  EXPECT_EQ(auto_grain(100, 2048), 2048u);
+  EXPECT_EQ(auto_grain(1 << 20, 2048), (1u << 20) / kMaxChunksPerRegion);
+  EXPECT_GE(auto_grain(1 << 20, 2048) * kMaxChunksPerRegion, 1u << 20);
 }
 
 TEST(CostModel, RoundsAndWorkAccumulate) {

@@ -85,7 +85,7 @@ TEST_P(SettleFallbackMatrix, ForcedFallbackHoldsInvariants) {
   cfg.initial_capacity = 1 << 16;
   cfg.max_settle_repeats = 0;
 
-  ThreadPool pool(threads);
+  ThreadPool pool(threads, /*allow_oversubscribe=*/true);
   DynamicMatcher m(cfg, pool);
   churn(m, /*seed=*/seed ^ 0xfa11bacc, 128, 512, 30, 64);
   EXPECT_GT(m.stats().settle_fallbacks, 0u)

@@ -13,6 +13,7 @@
 #include "util/indexed_set.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/small_vector.h"
 #include "util/stats.h"
 
 namespace pdmm {
@@ -267,6 +268,149 @@ TEST(Json, EscapesAndNests) {
             std::count(s.begin(), s.end(), '}'));
   EXPECT_EQ(std::count(s.begin(), s.end(), '['),
             std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(Json, ParseRoundTripsWriterOutput) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "pdmm-bench-v1");
+    j.key("results");
+    j.begin_array();
+    j.begin_object();
+    j.field("bench", "threads");
+    j.field("work", uint64_t{1234567});
+    j.field("seconds", 0.03125);
+    j.field("flag", true);
+    j.key("params");
+    j.begin_object();
+    j.field("k", "4096");
+    j.end_object();
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  }
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(out.str(), doc, &err)) << err;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("schema")->str_or(""), "pdmm-bench-v1");
+  const JsonValue* results = doc.get("results");
+  ASSERT_TRUE(results && results->is_array());
+  ASSERT_EQ(results->array.size(), 1u);
+  const JsonValue& r = results->array[0];
+  EXPECT_EQ(r.get("bench")->str_or(""), "threads");
+  EXPECT_DOUBLE_EQ(r.get("work")->num_or(0), 1234567.0);
+  EXPECT_DOUBLE_EQ(r.get("seconds")->num_or(0), 0.03125);
+  EXPECT_TRUE(r.get("flag")->boolean);
+  ASSERT_NE(r.get("params"), nullptr);
+  EXPECT_EQ(r.get("params")->get("k")->str_or(""), "4096");
+}
+
+TEST(Json, ParseHandlesEscapesAndRejectsGarbage) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"s": "a\"b\\c\n", "x": [1, -2.5e2, null]})", v));
+  EXPECT_EQ(v.get("s")->str_or(""), "a\"b\\c\n");
+  EXPECT_DOUBLE_EQ(v.get("x")->array[1].num_or(0), -250.0);
+  EXPECT_EQ(v.get("x")->array[2].kind, JsonValue::Kind::kNull);
+
+  std::string err;
+  EXPECT_FALSE(json_parse("{", v, &err));
+  EXPECT_FALSE(json_parse("{\"a\": }", v, &err));
+  EXPECT_FALSE(json_parse("[1, 2,]", v, &err));
+  EXPECT_FALSE(json_parse("true false", v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(SmallVector, InlineThenSpill) {
+  SmallVector<uint32_t, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.push_back(3);  // spills to the heap
+  v.push_back(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i + 1);
+  EXPECT_EQ(v.back(), 4u);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 3u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, ValueSemanticsWithNonTrivialElements) {
+  SmallVector<std::string, 2> a;
+  a.push_back("one");
+  a.push_back("two");
+  a.push_back("three");  // heap
+  SmallVector<std::string, 2> b = a;  // copy
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], "three");
+  SmallVector<std::string, 2> c = std::move(a);  // move steals the heap
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], "one");
+  // Inline move: elements move one by one.
+  SmallVector<std::string, 2> d;
+  d.push_back("only");
+  SmallVector<std::string, 2> e = std::move(d);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], "only");
+  b = e;  // copy-assign over spilled storage
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], "only");
+}
+
+TEST(IndexedSet, OrderIdenticalAcrossIndexEngagement) {
+  // The hash index engages above the linear cutoff; member order (the
+  // observable part) must be exactly what the same operation sequence
+  // produces on a tiny set that never engages it.
+  IndexedSet big;
+  for (uint32_t i = 0; i < 200; ++i) big.insert(i * 3);  // index engaged
+  for (uint32_t i = 0; i < 200; i += 2) big.erase(i * 3);
+  IndexedSet small_ref;
+  // Same logical sequence restricted to a smaller universe.
+  IndexedSet small;
+  for (uint32_t i = 0; i < 6; ++i) {
+    small.insert(i * 3);
+    small_ref.insert(i * 3);
+  }
+  for (uint32_t i = 0; i < 6; i += 2) {
+    small.erase(i * 3);
+    small_ref.erase(i * 3);
+  }
+  ASSERT_EQ(small.size(), small_ref.size());
+  for (size_t i = 0; i < small.size(); ++i)
+    EXPECT_EQ(small.at(i), small_ref.at(i));
+  // Spilled set stays consistent under churn near the boundary.
+  IndexedSet s;
+  std::unordered_set<uint32_t> ref;
+  Xoshiro256 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t k = static_cast<uint32_t>(rng.below(12));
+    if (rng.uniform() < 0.5) {
+      EXPECT_EQ(s.insert(k), ref.insert(k).second);
+    } else {
+      EXPECT_EQ(s.erase(k), ref.erase(k) > 0);
+    }
+    ASSERT_EQ(s.size(), ref.size());
+  }
+  for (uint32_t k : ref) EXPECT_TRUE(s.contains(k));
+}
+
+TEST(IndexedSet, CopyAndMovePreserveMembersAndOrder) {
+  IndexedSet a;
+  for (uint32_t i = 0; i < 20; ++i) a.insert(i * 7);
+  a.erase(21);
+  const IndexedSet b = a;  // copy
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(b.at(i), a.at(i));
+  IndexedSet c = std::move(a);
+  ASSERT_EQ(c.size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(c.at(i), b.at(i));
+  EXPECT_TRUE(c.contains(28));
+  EXPECT_FALSE(c.contains(21));
 }
 
 }  // namespace

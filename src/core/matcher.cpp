@@ -20,6 +20,7 @@
 #include "parallel/pack.h"
 #include "parallel/parallel_for.h"
 #include "parallel/sort.h"
+#include "serve/match_view.h"
 #include "static_mm/luby.h"
 
 namespace pdmm {
@@ -922,7 +923,45 @@ DynamicMatcher::BatchResult DynamicMatcher::update(
   res.rounds = cost_.rounds - cost_before.rounds;
 
   if (cfg_.check_invariants) MatchingChecker::check(*this);
+  if (post_batch_hook_) post_batch_hook_(res);
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent read path: view export (src/serve)
+// ---------------------------------------------------------------------------
+
+MatchView DynamicMatcher::make_view() const {
+  MatchView view;
+  view.epoch = batch_counter_;
+  view.max_rank = reg_.max_rank();
+
+  // Per-vertex arrays: disjoint writes, so the fill parallelizes directly.
+  const size_t nv = verts_.size();
+  view.vmatch.resize(nv);
+  view.vlevel.resize(nv);
+  parallel_for(pool_, nv, [&](size_t v) {
+    view.vmatch[v] = verts_[v].matched;
+    view.vlevel[v] = verts_[v].level;
+  });
+
+  // Matched edges (ascending, from matching()) with their endpoints packed
+  // CSR-style so the view owns every byte a query touches.
+  view.medges = matching();
+  view.moffset.resize(view.medges.size() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < view.medges.size(); ++i) {
+    view.moffset[i] = static_cast<uint32_t>(total);
+    total += reg_.rank(view.medges[i]);
+  }
+  view.moffset[view.medges.size()] = static_cast<uint32_t>(total);
+  view.mendpoints.resize(total);
+  parallel_for(pool_, view.medges.size(), [&](size_t i) {
+    const auto eps = reg_.endpoints(view.medges[i]);
+    std::copy(eps.begin(), eps.end(),
+              view.mendpoints.begin() + view.moffset[i]);
+  });
+  return view;
 }
 
 }  // namespace pdmm

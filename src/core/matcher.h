@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -51,6 +52,7 @@
 namespace pdmm {
 
 class MatchingChecker;
+struct MatchView;
 
 class DynamicMatcher {
  public:
@@ -141,6 +143,26 @@ class DynamicMatcher {
   }
   Level edge_level(EdgeId e) const { return elevel_[e]; }
   Vertex edge_owner(EdgeId e) const { return eowner_[e]; }
+
+  // ---- concurrent read path (src/serve) ----
+  // Batches processed so far; the epoch stamped onto published MatchViews.
+  uint64_t batch_epoch() const { return batch_counter_; }
+  // Builds an immutable snapshot of the current matching (per-vertex
+  // matched edge + level, sorted matched-edge list with endpoints), stamped
+  // with batch_epoch(). O(V + E) with the per-vertex fill parallelized on
+  // the pool. Must be called between updates (same rule as the other
+  // inspection accessors); serve::MatchViewService calls it from the
+  // post-batch hook, which satisfies that by construction.
+  MatchView make_view() const;
+  // Installs `hook`, invoked at the very end of every update() — after all
+  // invariants are restored (and after the optional invariant check), with
+  // the batch's result — on the updater thread. One hook at a time; pass
+  // nullptr to detach. MatchViewService uses this to publish a fresh view
+  // per batch without the driver having to remember to.
+  using PostBatchHook = std::function<void(const BatchResult&)>;
+  void set_post_batch_hook(PostBatchHook hook) {
+    post_batch_hook_ = std::move(hook);
+  }
 
   const LevelScheme& scheme() const { return scheme_; }
   const MatcherStats& stats() const { return stats_; }
@@ -398,6 +420,8 @@ class DynamicMatcher {
   uint64_t updates_used_ = 0;
 
   Scratch scratch_;
+
+  PostBatchHook post_batch_hook_;
 
   MatcherStats stats_;
   EpochStats epochs_;

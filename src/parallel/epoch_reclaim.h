@@ -1,0 +1,115 @@
+// Epoch-slot quiescence detection — the reclamation half of an epoch-based
+// memory-reclamation scheme (EBR) for single-writer / multi-reader
+// publication protocols.
+//
+// The idea mirrors the thread pool's epoch-tagged claim word: a monotone
+// epoch counter stamps every generation of shared state, and an object of
+// generation E can be freed once every concurrent participant provably
+// works on a generation >= E. Here the participants are *reader threads*:
+// each reader pins the epoch it observed into a private cache-line-sized
+// slot before dereferencing the shared pointer, and unpins when done. The
+// single writer scans the slots; the minimum pinned epoch is a conservative
+// lower bound on what any reader can still hold.
+//
+// Safety argument (all slot/epoch operations are seq_cst): suppose the
+// writer frees an object retired at epoch R after a scan observed every
+// slot idle or pinned >= R. A reader that pinned e < R was either seen by
+// the scan (then the free did not happen), or its pin store follows the
+// scan's load in the seq_cst total order — but then its subsequent load of
+// the shared pointer also follows the writer's store of the generation-R
+// pointer, so it obtains the new generation, never the freed one. A reader
+// that pinned e >= R read the epoch counter after it advanced to R, which
+// happens after the generation-R pointer was published, so again its
+// pointer load cannot return the retired object.
+//
+// Pinning is wait-free apart from the slot claim, which is a bounded scan
+// over the fixed slot array (one CAS per occupied slot in the worst case).
+// The writer never blocks on readers: objects whose epoch is still pinned
+// simply stay on the retired list until a later scan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace pdmm {
+
+class EpochSlots {
+ public:
+  // Slot value meaning "no reader here".
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  // claim() result when every slot is occupied.
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  explicit EpochSlots(size_t capacity)
+      : capacity_(capacity), slots_(new Slot[capacity]) {
+    PDMM_ASSERT_MSG(capacity > 0, "EpochSlots needs at least one slot");
+  }
+
+  EpochSlots(const EpochSlots&) = delete;
+  EpochSlots& operator=(const EpochSlots&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Atomically claims a free slot and pins `epoch` into it. The CAS from
+  // kIdle doubles as the claim, so there is no separate registration step
+  // and no window where a claimed slot is unpinned. Returns kNoSlot when
+  // all slots are occupied (the caller decides whether that is fatal).
+  size_t claim_and_pin(uint64_t epoch) {
+    PDMM_DASSERT(epoch != kIdle);
+    for (size_t i = 0; i < capacity_; ++i) {
+      uint64_t expected = kIdle;
+      if (slots_[i].pinned.compare_exchange_strong(
+              expected, epoch, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    return kNoSlot;
+  }
+
+  // Releases a slot claimed by claim_and_pin. The release ordering makes
+  // every read the owner performed on the protected object visible to the
+  // writer's next scan before the object becomes reclaimable.
+  void unpin(size_t slot) {
+    PDMM_DASSERT(slot < capacity_);
+    PDMM_DASSERT(slots_[slot].pinned.load(std::memory_order_relaxed) != kIdle);
+    slots_[slot].pinned.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  // Minimum epoch pinned by any active reader; kIdle when none is active.
+  // Writer-side quiescence scan: an object retired at epoch R is
+  // unreachable once min_pinned() >= R (see the file comment's argument
+  // for why a pin at exactly R cannot protect a pre-R object).
+  uint64_t min_pinned() const {
+    uint64_t min = kIdle;
+    for (size_t i = 0; i < capacity_; ++i) {
+      const uint64_t p = slots_[i].pinned.load(std::memory_order_seq_cst);
+      if (p < min) min = p;
+    }
+    return min;
+  }
+
+  // Number of currently occupied slots (diagnostics; inherently racy).
+  size_t active() const {
+    size_t n = 0;
+    for (size_t i = 0; i < capacity_; ++i) {
+      n += slots_[i].pinned.load(std::memory_order_relaxed) != kIdle;
+    }
+    return n;
+  }
+
+ private:
+  // One cache line per slot so reader pin/unpin traffic never false-shares
+  // with a neighbouring reader.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> pinned{kIdle};
+  };
+
+  size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace pdmm

@@ -1,0 +1,110 @@
+#include "serve/match_view.h"
+
+namespace pdmm {
+
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+bool MatchView::validate(std::string* error) const {
+  // Shape.
+  if (vmatch.size() != vlevel.size()) {
+    return fail(error, "vmatch / vlevel size mismatch");
+  }
+  if (moffset.size() != medges.size() + 1) {
+    return fail(error, "moffset must have one entry per matched edge + 1");
+  }
+  if (!moffset.empty() &&
+      (moffset.front() != 0 || moffset.back() != mendpoints.size())) {
+    return fail(error, "moffset does not cover mendpoints");
+  }
+
+  // Edge list sorted-unique; CSR rows non-empty, within rank, endpoints
+  // sorted-unique and in vertex range.
+  for (size_t i = 0; i < medges.size(); ++i) {
+    if (i > 0 && medges[i - 1] >= medges[i]) {
+      return fail(error, "medges not sorted-unique at index " +
+                             std::to_string(i));
+    }
+    const uint32_t deg = moffset[i + 1] - moffset[i];
+    if (deg == 0 || deg > max_rank) {
+      return fail(error, "matched edge " + std::to_string(medges[i]) +
+                             " has invalid rank " + std::to_string(deg));
+    }
+    for (uint32_t j = moffset[i]; j < moffset[i + 1]; ++j) {
+      const Vertex u = mendpoints[j];
+      if (u >= vmatch.size()) {
+        return fail(error, "endpoint " + std::to_string(u) +
+                               " outside the vertex bound");
+      }
+      if (j > moffset[i] && mendpoints[j - 1] >= u) {
+        return fail(error, "endpoints of matched edge " +
+                               std::to_string(medges[i]) +
+                               " not sorted-unique");
+      }
+    }
+  }
+
+  // Edge -> vertex direction: every endpoint of a matched edge points back
+  // at it and sits at a proper (>= 0) level shared by the whole edge.
+  for (size_t i = 0; i < medges.size(); ++i) {
+    const EdgeId e = medges[i];
+    const Level lvl = vlevel[mendpoints[moffset[i]]];
+    if (lvl < 0) {
+      return fail(error, "matched edge " + std::to_string(e) +
+                             " has an endpoint at level -1");
+    }
+    for (uint32_t j = moffset[i]; j < moffset[i + 1]; ++j) {
+      const Vertex u = mendpoints[j];
+      if (vmatch[u] != e) {
+        return fail(error, "vertex " + std::to_string(u) +
+                               " does not point back at matched edge " +
+                               std::to_string(e));
+      }
+      if (vlevel[u] != lvl) {
+        return fail(error, "endpoints of matched edge " + std::to_string(e) +
+                               " disagree on the level");
+      }
+    }
+  }
+
+  // Vertex -> edge direction: a matched vertex's edge is in the matched
+  // list and contains the vertex; an unmatched vertex sits at level -1.
+  // (Matched vertices were already checked to sit at the edge's level.)
+  size_t matched_vertices = 0;
+  for (Vertex v = 0; v < vmatch.size(); ++v) {
+    const EdgeId e = vmatch[v];
+    if (e == kNoEdge) {
+      if (vlevel[v] != kUnmatchedLevel) {
+        return fail(error, "unmatched vertex " + std::to_string(v) +
+                               " not at level -1");
+      }
+      continue;
+    }
+    ++matched_vertices;
+    const auto eps = endpoints_of_matched(e);
+    if (eps.empty()) {
+      return fail(error, "vertex " + std::to_string(v) +
+                             " matched to an edge absent from the view");
+    }
+    if (std::find(eps.begin(), eps.end(), v) == eps.end()) {
+      return fail(error, "vertex " + std::to_string(v) +
+                             " matched to an edge that does not contain it");
+    }
+  }
+  // Disjointness fell out above (each endpoint points at exactly one edge),
+  // so the counts must tie out: every matched vertex is an endpoint of
+  // exactly one matched edge.
+  if (matched_vertices != mendpoints.size()) {
+    return fail(error, "matched-vertex count disagrees with the endpoint "
+                       "count of the matched edges");
+  }
+  return true;
+}
+
+}  // namespace pdmm

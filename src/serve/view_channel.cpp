@@ -1,0 +1,76 @@
+#include "serve/view_channel.h"
+
+namespace pdmm {
+
+void ViewHandle::release() {
+  if (!channel_) return;
+  channel_->slots_.unpin(slot_);
+  channel_ = nullptr;
+  view_ = nullptr;
+}
+
+ViewChannel::ViewChannel(size_t max_readers) : slots_(max_readers) {}
+
+ViewChannel::~ViewChannel() {
+  PDMM_ASSERT_MSG(slots_.active() == 0,
+                  "ViewChannel destroyed with outstanding ViewHandles");
+  delete current_.load(std::memory_order_relaxed);
+  for (const auto& [view, seq] : retired_) delete view;
+}
+
+void ViewChannel::publish(std::unique_ptr<const MatchView> view) {
+  PDMM_ASSERT(view != nullptr);
+  const MatchView* old = current_.load(std::memory_order_relaxed);
+  // Equal epochs are allowed (publish_now after rebuild()/load()
+  // re-publishes the same batch epoch); a decrease is a protocol bug.
+  PDMM_ASSERT_MSG(!old || view->epoch >= old->epoch,
+                  "published view epochs must be monotone");
+  const uint64_t next = seq_.load(std::memory_order_relaxed) + 1;
+  // Order matters twice over: the payload epoch advances before the
+  // pointer swap (so staleness = published_epoch() - handle epoch can
+  // never underflow), and the new view must be reachable through
+  // `current_` before the sequence number that retires the old one
+  // becomes visible (the safety argument in epoch_reclaim.h).
+  payload_epoch_.store(view->epoch, std::memory_order_seq_cst);
+  current_.store(view.release(), std::memory_order_seq_cst);
+  seq_.store(next, std::memory_order_seq_cst);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (old) retired_.emplace_back(old, next);
+  reclaim();
+}
+
+ViewHandle ViewChannel::acquire() {
+  // Pin first, then load: the pinned sequence number is a lower bound on
+  // the retire epoch of whatever the load returns, which is exactly what
+  // keeps the view alive (see parallel/epoch_reclaim.h). A pin that is
+  // stale by the time of the load only over-protects.
+  const uint64_t s = seq_.load(std::memory_order_seq_cst);
+  const size_t slot = slots_.claim_and_pin(s);
+  PDMM_ASSERT_MSG(slot != EpochSlots::kNoSlot,
+                  "ViewChannel reader capacity exhausted "
+                  "(raise max_readers)");
+  const MatchView* v = current_.load(std::memory_order_seq_cst);
+  if (!v) {
+    // Nothing published yet: nothing to protect either.
+    slots_.unpin(slot);
+    return {};
+  }
+  return ViewHandle(this, v, slot);
+}
+
+void ViewChannel::reclaim() {
+  if (retired_.empty()) return;
+  const uint64_t min_pinned = slots_.min_pinned();  // kIdle == no reader
+  size_t kept = 0;
+  for (auto& entry : retired_) {
+    if (entry.second <= min_pinned) {
+      delete entry.first;
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      retired_[kept++] = entry;
+    }
+  }
+  retired_.resize(kept);
+}
+
+}  // namespace pdmm

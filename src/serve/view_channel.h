@@ -1,0 +1,152 @@
+// ViewChannel: single-writer publication of immutable MatchViews to any
+// number of concurrent reader threads, with epoch-based reclamation.
+//
+// Protocol (see docs/ARCHITECTURE.md "The concurrent read path"):
+//
+//   publish   the updater hands over a freshly built view; the channel
+//             swaps it into the `current` pointer, advances the publish
+//             epoch, and retires the previous view.
+//   acquire   a reader pins the current publish epoch into a free
+//             EpochSlots slot, then loads `current`. The returned
+//             ViewHandle keeps the slot pinned, so every view the reader
+//             can possibly hold is protected for the handle's lifetime.
+//   retire    a superseded view goes onto the writer-private retired list,
+//             stamped with the epoch that superseded it.
+//   reclaim   on each publish the writer scans the slots; retired views
+//             whose retire epoch is <= the minimum pinned epoch are freed
+//             (no reader can reach them any more — argument in
+//             parallel/epoch_reclaim.h).
+//
+// Readers are wait-free per query (the view is immutable) and acquire in a
+// bounded number of steps (one scan of the fixed slot array); they never
+// take a lock and never block the writer. The writer never blocks on
+// readers either: a slow reader only delays the *freeing* of old views,
+// never publication. Memory is bounded by one live view per outstanding
+// handle plus the current one.
+//
+// Thread contract: publish() and the stats that read the retired list
+// (retired_pending) are writer-thread-only. acquire() and the ViewHandle
+// are safe from any thread; a handle must be released (destroyed) by the
+// thread holding it before the channel is destroyed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "parallel/epoch_reclaim.h"
+#include "serve/match_view.h"
+
+namespace pdmm {
+
+class ViewChannel;
+
+// RAII read lease on one published view. Move-only; the destructor unpins
+// the reclamation slot. Holding several handles (even on one thread) is
+// fine — each owns its own slot — so the natural refresh pattern
+// `h = channel.acquire()` is safe: the new handle pins before the old one
+// releases.
+class ViewHandle {
+ public:
+  ViewHandle() = default;
+  ViewHandle(ViewHandle&& o) noexcept
+      : channel_(std::exchange(o.channel_, nullptr)),
+        view_(std::exchange(o.view_, nullptr)),
+        slot_(o.slot_) {}
+  ViewHandle& operator=(ViewHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      channel_ = std::exchange(o.channel_, nullptr);
+      view_ = std::exchange(o.view_, nullptr);
+      slot_ = o.slot_;
+    }
+    return *this;
+  }
+  ViewHandle(const ViewHandle&) = delete;
+  ViewHandle& operator=(const ViewHandle&) = delete;
+  ~ViewHandle() { release(); }
+
+  explicit operator bool() const { return view_ != nullptr; }
+  const MatchView& operator*() const { return *view_; }
+  const MatchView* operator->() const { return view_; }
+  const MatchView* get() const { return view_; }
+
+  void release();
+
+ private:
+  friend class ViewChannel;
+  ViewHandle(ViewChannel* channel, const MatchView* view, size_t slot)
+      : channel_(channel), view_(view), slot_(slot) {}
+
+  ViewChannel* channel_ = nullptr;
+  const MatchView* view_ = nullptr;
+  size_t slot_ = 0;
+};
+
+class ViewChannel {
+ public:
+  // max_readers bounds the number of concurrently *outstanding*
+  // ViewHandles (not reader threads: a thread holding no handle occupies
+  // no slot).
+  explicit ViewChannel(size_t max_readers = 64);
+  ~ViewChannel();
+
+  ViewChannel(const ViewChannel&) = delete;
+  ViewChannel& operator=(const ViewChannel&) = delete;
+
+  // Writer side. Publishes `view` as the new current view; epochs of
+  // successive publishes must be monotone non-decreasing (the matcher's
+  // batch counter is). Retires the previous view and reclaims whatever
+  // became unreachable.
+  void publish(std::unique_ptr<const MatchView> view);
+
+  // Reader side: lease the latest published view (null handle before the
+  // first publish). Aborts when more than max_readers handles are
+  // outstanding — a capacity misconfiguration, not a runtime condition.
+  ViewHandle acquire();
+
+  // Epoch of the latest published view (0 before the first publish).
+  // Readers use it to gauge the staleness of a held handle. Safe from any
+  // thread with no handle held: the epoch lives in its own atomic, never
+  // behind the (reclaimable) view pointer. The epoch store precedes the
+  // pointer swap, so for a handle h acquired before the call,
+  // published_epoch() >= h->epoch always holds (staleness never
+  // underflows).
+  uint64_t published_epoch() const {
+    return payload_epoch_.load(std::memory_order_acquire);
+  }
+
+  // ---- introspection (tests, drivers) ----
+  uint64_t published_count() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  uint64_t freed_count() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  // Writer-thread-only: retired views not yet reclaimable.
+  size_t retired_pending() const { return retired_.size(); }
+  // Writer-thread-only: run a reclamation scan outside publish (e.g. after
+  // the update stream ends, once readers wind down).
+  void reclaim();
+
+ private:
+  friend class ViewHandle;
+
+  // Publish sequence number: 1 + number of publishes so far. Reclamation
+  // pins this, not the view's batch epoch, so the protocol is independent
+  // of how the payload numbers its generations.
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<const MatchView*> current_{nullptr};
+  // Payload (batch) epoch of the current view, readable without a handle.
+  std::atomic<uint64_t> payload_epoch_{0};
+  EpochSlots slots_;
+
+  // Writer-private: views superseded at sequence number `second`.
+  std::vector<std::pair<const MatchView*, uint64_t>> retired_;
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> freed_{0};
+};
+
+}  // namespace pdmm

@@ -1,0 +1,20 @@
+#include "serve/view_service.h"
+
+namespace pdmm {
+
+MatchViewService::MatchViewService(DynamicMatcher& matcher, Options opt)
+    : matcher_(matcher), channel_(opt.max_readers) {
+  matcher_.set_post_batch_hook(
+      [this](const DynamicMatcher::BatchResult&) { publish_now(); });
+  if (opt.publish_initial) publish_now();
+}
+
+MatchViewService::~MatchViewService() {
+  matcher_.set_post_batch_hook(nullptr);
+}
+
+void MatchViewService::publish_now() {
+  channel_.publish(std::make_unique<MatchView>(matcher_.make_view()));
+}
+
+}  // namespace pdmm

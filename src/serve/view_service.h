@@ -1,0 +1,66 @@
+// MatchViewService: glues a DynamicMatcher to a ViewChannel so the
+// concurrent read path needs one line of setup.
+//
+//   DynamicMatcher m(cfg, pool);
+//   MatchViewService serve(m);            // publishes a view per batch
+//   ...
+//   // updater thread:
+//   m.update(dels, ins);                  // hook republishes automatically
+//   // any reader thread:
+//   ViewHandle h = serve.acquire();
+//   if (h && h->is_matched(e)) ...        // wait-free queries, epoch h->epoch
+//
+// The service installs the matcher's post-batch hook; constructing it
+// publishes an initial view of the current state (epoch = batches so far),
+// so readers always find something once the service exists. Destroying the
+// service detaches the hook and (with the channel) frees every view, so it
+// must outlive all reader handles and die before the matcher.
+//
+// Exactly one service per matcher at a time (the hook slot is single);
+// one updater thread at a time (same contract as update() itself).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/matcher.h"
+#include "serve/view_channel.h"
+
+namespace pdmm {
+
+class MatchViewService {
+ public:
+  struct Options {
+    // Bound on concurrently outstanding ViewHandles (see ViewChannel).
+    size_t max_readers = 64;
+    // Publish a view of the pre-existing state on construction. Disable
+    // when the matcher is mid-bulk-load and the first real publish should
+    // wait for the first update().
+    bool publish_initial = true;
+  };
+
+  explicit MatchViewService(DynamicMatcher& matcher)
+      : MatchViewService(matcher, Options()) {}
+  MatchViewService(DynamicMatcher& matcher, Options opt);
+  ~MatchViewService();
+
+  MatchViewService(const MatchViewService&) = delete;
+  MatchViewService& operator=(const MatchViewService&) = delete;
+
+  // Reader side (any thread).
+  ViewHandle acquire() { return channel_.acquire(); }
+  uint64_t published_epoch() const { return channel_.published_epoch(); }
+
+  // Updater-thread-only: rebuild and publish a view outside the hook
+  // (e.g. after load() or rebuild(), which bypass update()).
+  void publish_now();
+
+  ViewChannel& channel() { return channel_; }
+  const ViewChannel& channel() const { return channel_; }
+
+ private:
+  DynamicMatcher& matcher_;
+  ViewChannel channel_;
+};
+
+}  // namespace pdmm

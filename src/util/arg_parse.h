@@ -1,6 +1,9 @@
 // Minimal command-line flag parser for the benchmark and example binaries.
 // Flags look like: --name=value or --name value. Unknown flags abort with
-// the usage string so typos never silently fall back to defaults.
+// the usage string so typos never silently fall back to defaults — and the
+// same contract holds for *values*: a numeric flag given an empty,
+// non-numeric, trailing-garbage or out-of-range value aborts with a
+// message and the usage string instead of silently parsing as 0.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +11,8 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+
+#include "util/parse_num.h"
 
 namespace pdmm {
 
@@ -39,7 +44,15 @@ class ArgParse {
     note(name, std::to_string(def));
     auto it = args_.find(name);
     if (it == args_.end()) return def;
-    const uint64_t v = std::strtoull(it->second.c_str(), nullptr, 10);
+    uint64_t v = 0;
+    switch (parse_u64_strict(it->second, v)) {
+      case ParseNum::kMalformed:
+        bad_value(name, it->second, "expected an unsigned integer");
+      case ParseNum::kOutOfRange:
+        bad_value(name, it->second,
+                  "out of range for a 64-bit unsigned integer");
+      case ParseNum::kOk: break;
+    }
     consumed_.insert({name, true});
     return v;
   }
@@ -48,8 +61,16 @@ class ArgParse {
     note(name, std::to_string(def));
     auto it = args_.find(name);
     if (it == args_.end()) return def;
+    double v = 0.0;
+    switch (parse_f64_strict(it->second, v)) {
+      case ParseNum::kMalformed:
+        bad_value(name, it->second, "expected a number");
+      case ParseNum::kOutOfRange:
+        bad_value(name, it->second, "out of range for a double");
+      case ParseNum::kOk: break;
+    }
     consumed_.insert({name, true});
-    return std::strtod(it->second.c_str(), nullptr);
+    return v;
   }
 
   std::string get_string(const std::string& name, const std::string& def) {
@@ -78,10 +99,7 @@ class ArgParse {
       }
     }
     if (bad) {
-      std::fprintf(stderr, "usage: %s", prog_.c_str());
-      for (const auto& [k, v] : known_)
-        std::fprintf(stderr, " [--%s=%s]", k.c_str(), v.c_str());
-      std::fprintf(stderr, "\n");
+      usage();
       std::exit(2);
     }
   }
@@ -90,6 +108,21 @@ class ArgParse {
   void note(const std::string& name, const std::string& def) {
     known_.emplace(name, def);
     if (args_.count(name)) consumed_.insert({name, true});
+  }
+
+  [[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                              const char* why) {
+    std::fprintf(stderr, "invalid value for --%s: '%s' (%s)\n", name.c_str(),
+                 value.c_str(), why);
+    usage();
+    std::exit(2);
+  }
+
+  void usage() const {
+    std::fprintf(stderr, "usage: %s", prog_.c_str());
+    for (const auto& [k, v] : known_)
+      std::fprintf(stderr, " [--%s=%s]", k.c_str(), v.c_str());
+    std::fprintf(stderr, "\n");
   }
 
   std::string prog_;

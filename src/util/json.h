@@ -8,8 +8,9 @@
 // (JSON has no spelling for them).
 //
 // JsonValue/json_parse is the matching reader: a small recursive-descent
-// parser over the full JSON grammar (minus \uXXXX escapes beyond latin-1),
-// enough to load a committed report back for the --compare perf ratchet.
+// parser over the full JSON grammar. \uXXXX escapes decode to UTF-8,
+// including surrogate pairs (so any JSON string round-trips); lone or
+// mismatched surrogates are a parse error.
 #pragma once
 
 #include <charconv>
@@ -194,6 +195,7 @@ class JsonParser {
   explicit JsonParser(std::string_view text) : text_(text) {}
 
   bool parse(JsonValue& out, std::string* error) {
+    out = JsonValue{};  // a reused output value must not keep old contents
     const bool ok = value(out) && (skip_ws(), pos_ == text_.size());
     if (!ok && error) {
       *error = "JSON parse error at offset " + std::to_string(pos_);
@@ -337,20 +339,61 @@ class JsonParser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
           unsigned code = 0;
-          const auto res = std::from_chars(
-              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-          if (res.ptr != text_.data() + pos_ + 4) return false;
-          pos_ += 4;
-          // Latin-1 subset is all the reports ever contain.
-          out += static_cast<char>(code < 0x100 ? code : '?');
+          if (!hex4(code)) return false;
+          // UTF-16 escapes: a high surrogate must be followed by an
+          // escaped low surrogate; together they name one supplementary
+          // code point. Lone or inverted surrogates are malformed.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return false;
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return false;
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return false;  // low surrogate with no preceding high
+          }
+          append_utf8(out, code);
           break;
         }
         default: return false;
       }
     }
     return false;
+  }
+
+  // Reads exactly four hex digits at pos_ into `code`.
+  bool hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    const auto res = std::from_chars(text_.data() + pos_,
+                                     text_.data() + pos_ + 4, code, 16);
+    if (res.ptr != text_.data() + pos_ + 4) return false;
+    pos_ += 4;
+    return true;
+  }
+
+  // Encodes one Unicode scalar value (<= 0x10FFFF, never a surrogate by
+  // the time we get here) as UTF-8.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
   }
 
   bool number(JsonValue& out) {

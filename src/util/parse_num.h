@@ -1,0 +1,57 @@
+// Strict string-to-number parsing shared by every user-input surface
+// (ArgParse flag values, trace endpoints). The C strto* functions accept
+// leading whitespace and signs, stop silently at the first bad character,
+// and wrap negatives/overflow — all of which turn typos into silently
+// wrong values. These helpers reject anything but a complete, in-range
+// spelling and distinguish malformed input from out-of-range input so
+// callers can word their errors.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+
+namespace pdmm {
+
+enum class ParseNum { kOk, kMalformed, kOutOfRange };
+
+// Plain decimal unsigned integer: no whitespace, no sign, no trailing
+// characters.
+inline ParseNum parse_u64_strict(const std::string& s, uint64_t& out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(s[0]))) {
+    return ParseNum::kMalformed;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return ParseNum::kMalformed;
+  if (errno == ERANGE) return ParseNum::kOutOfRange;
+  out = v;
+  return ParseNum::kOk;
+}
+
+// Floating-point number: signs and exponents allowed (everything strtod
+// accepts), but no leading whitespace and no trailing characters.
+inline ParseNum parse_f64_strict(const std::string& s, double& out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return ParseNum::kMalformed;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return ParseNum::kMalformed;
+  // ERANGE covers both overflow and underflow; only overflow is a bad
+  // value — an underflowed spelling (e.g. 1e-310) still denotes the
+  // subnormal/zero strtod produced.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return ParseNum::kOutOfRange;
+  }
+  out = v;
+  return ParseNum::kOk;
+}
+
+}  // namespace pdmm

@@ -22,8 +22,18 @@ namespace pdmm {
 // Serializes batches into `out`. Inverse of read_trace.
 void write_trace(std::ostream& out, const std::vector<Batch>& batches);
 
-// Parses a trace; aborts with a line-numbered message on malformed input.
-std::vector<Batch> read_trace(std::istream& in);
+// Parses a trace into `out` (replacing its contents). Malformed input —
+// unknown op, op without endpoints, non-numeric or out-of-range endpoint,
+// duplicate endpoint within an op, trailing tokens after a batch
+// boundary — is a *recoverable* error: read_trace returns false and sets
+// *error (when given) to a line-numbered message, so drivers can reject a
+// bad trace gracefully instead of aborting the process. On failure `out`
+// holds the batches parsed before the offending line.
+bool read_trace(std::istream& in, std::vector<Batch>& out,
+                std::string* error = nullptr);
+
+// Convenience for tests and trusted inputs: asserts the trace parses.
+std::vector<Batch> read_trace_or_die(std::istream& in);
 
 // Convenience: record `num_batches` from any stream generator.
 template <typename Stream>

@@ -19,7 +19,7 @@ TEST(Trace, RoundTripPreservesBatches) {
 
   std::stringstream buf;
   write_trace(buf, orig);
-  const std::vector<Batch> back = read_trace(buf);
+  const std::vector<Batch> back = read_trace_or_die(buf);
 
   ASSERT_EQ(back.size(), orig.size());
   for (size_t i = 0; i < orig.size(); ++i) {
@@ -37,7 +37,7 @@ TEST(Trace, ParsesCommentsAndBlankLines) {
       "b\n"
       "# trailing batch without boundary\n"
       "d 1 2\n");
-  const auto batches = read_trace(in);
+  const auto batches = read_trace_or_die(in);
   ASSERT_EQ(batches.size(), 2u);
   EXPECT_EQ(batches[0].insertions.size(), 2u);
   EXPECT_TRUE(batches[0].deletions.empty());
@@ -49,7 +49,7 @@ TEST(Trace, EmptyBatchesPreserved) {
   orig[1].insertions.push_back({5, 6});
   std::stringstream buf;
   write_trace(buf, orig);
-  const auto back = read_trace(buf);
+  const auto back = read_trace_or_die(buf);
   ASSERT_EQ(back.size(), 3u);
   EXPECT_TRUE(back[0].insertions.empty() && back[0].deletions.empty());
   EXPECT_EQ(back[1].insertions.size(), 1u);
@@ -77,17 +77,74 @@ TEST(Trace, ReplayedTraceGivesIdenticalMatching) {
   std::stringstream buf;
   write_trace(buf, trace);
   const auto direct = run(trace);
-  const auto replayed = run(read_trace(buf));
+  const auto replayed = run(read_trace_or_die(buf));
   EXPECT_EQ(direct, replayed);
 }
 
 TEST(Trace, HyperedgeOps) {
   std::stringstream in("i 1 2 3 4\nd 9 8 7\nb\n");
-  const auto batches = read_trace(in);
+  const auto batches = read_trace_or_die(in);
   ASSERT_EQ(batches.size(), 1u);
   EXPECT_EQ(batches[0].insertions[0],
             (std::vector<Vertex>{1, 2, 3, 4}));
   EXPECT_EQ(batches[0].deletions[0], (std::vector<Vertex>{9, 8, 7}));
+}
+
+// Malformed input is a recoverable, line-numbered error — never an abort.
+TEST(Trace, MalformedInputReportsLineNumberedError) {
+  struct Case {
+    const char* text;
+    const char* expect_in_error;  // substring of the message
+  };
+  const Case cases[] = {
+      {"i 1 2\nx 3 4\n", "line 2: unknown op 'x'"},
+      {"i 1 2\ni\nb\n", "line 2: op 'i' without endpoints"},
+      {"d\n", "line 1: op 'd' without endpoints"},
+      {"i 1 abc 2\n", "line 1: bad endpoint 'abc'"},
+      {"i 1 2x\n", "line 1: bad endpoint '2x'"},
+      {"i 1 -2\n", "line 1: bad endpoint '-2'"},
+      {"# ok\ni 1 99999999999999999999\n", "line 2"},
+      {"i 1 4294967295\n", "out of vertex range"},  // kNoVertex reserved
+      {"i 7 7\n", "duplicate endpoint 7"},
+      {"i 1 2\nb trailing\n", "line 2: unexpected token 'trailing'"},
+  };
+  for (const Case& c : cases) {
+    std::stringstream in(c.text);
+    std::vector<Batch> batches;
+    std::string err;
+    EXPECT_FALSE(read_trace(in, batches, &err)) << c.text;
+    EXPECT_NE(err.find(c.expect_in_error), std::string::npos)
+        << "input: " << c.text << "\nerror: " << err;
+  }
+}
+
+TEST(Trace, ErrorKeepsEarlierBatchesAndClearsOutput) {
+  // Batches before the offending line survive (useful for diagnostics)...
+  std::stringstream in("i 1 2\nb\ni 3 4\nb\nx\n");
+  std::vector<Batch> batches;
+  batches.push_back({});  // must be cleared by read_trace
+  std::string err;
+  ASSERT_FALSE(read_trace(in, batches, &err));
+  EXPECT_EQ(batches.size(), 2u);
+  // ...and a fully valid parse replaces any previous contents.
+  std::stringstream ok("i 5 6\nb\n");
+  ASSERT_TRUE(read_trace(ok, batches, &err));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].insertions[0], (std::vector<Vertex>{5, 6}));
+}
+
+TEST(Trace, WindowsLineEndingsParse) {
+  std::stringstream in("i 1 2\r\nb\r\n");
+  const auto batches = read_trace_or_die(in);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].insertions[0], (std::vector<Vertex>{1, 2}));
+}
+
+TEST(Trace, WhitespaceOnlyLinesAreBlank) {
+  std::stringstream in("i 1 2\n   \n\t\nb\n \r\n");
+  const auto batches = read_trace_or_die(in);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].insertions.size(), 1u);
 }
 
 }  // namespace

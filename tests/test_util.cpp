@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/arg_parse.h"
 #include "util/bits.h"
 #include "util/flat_map.h"
 #include "util/indexed_set.h"
@@ -321,6 +322,134 @@ TEST(Json, ParseHandlesEscapesAndRejectsGarbage) {
   EXPECT_FALSE(json_parse("[1, 2,]", v, &err));
   EXPECT_FALSE(json_parse("true false", v, &err));
   EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, DecodesUnicodeEscapesToUtf8) {
+  JsonValue v;
+  // BMP two- and three-byte sequences (U+00E9, U+20AC).
+  ASSERT_TRUE(json_parse("{\"s\": \"caf\\u00e9 \\u20ac\"}", v));
+  EXPECT_EQ(v.get("s")->str_or(""), "caf\xc3\xa9 \xe2\x82\xac");
+  // Supplementary plane via a surrogate pair (U+1F600).
+  ASSERT_TRUE(json_parse("[\"\\ud83d\\ude00\"]", v));
+  EXPECT_EQ(v.array[0].string, "\xf0\x9f\x98\x80");
+  // ASCII escape stays one byte; NUL is representable.
+  ASSERT_TRUE(json_parse("[\"A\\u0000B\"]", v));
+  EXPECT_EQ(v.array[0].string, std::string("A\0B", 3));
+}
+
+TEST(Json, RejectsLoneAndMismatchedSurrogates) {
+  JsonValue v;
+  EXPECT_FALSE(json_parse("[\"\\ud83d\"]", v));         // lone high
+  EXPECT_FALSE(json_parse("[\"\\ude00\"]", v));         // lone low
+  EXPECT_FALSE(json_parse("[\"\\ud83d\\u0041\"]", v));  // high + non-low
+  EXPECT_FALSE(json_parse("[\"\\ud83dx\"]", v));        // high + raw char
+  EXPECT_FALSE(json_parse("[\"\\u12\"]", v));           // truncated hex
+  EXPECT_FALSE(json_parse("[\"\\uzzzz\"]", v));         // non-hex
+}
+
+TEST(Json, Utf8RoundTripsThroughWriterAndParser) {
+  // The writer passes non-ASCII bytes through raw; the parser's \u decoding
+  // must produce the same bytes, so escaped and raw spellings converge.
+  const std::string snowman_grin = "\xe2\x98\x83 \xf0\x9f\x98\x80";
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.field("s", snowman_grin);
+    j.end_object();
+  }
+  JsonValue v;
+  ASSERT_TRUE(json_parse(out.str(), v));
+  EXPECT_EQ(v.get("s")->str_or(""), snowman_grin);
+  JsonValue w;
+  ASSERT_TRUE(json_parse("{\"s\": \"\\u2603 \\ud83d\\ude00\"}", w));
+  EXPECT_EQ(w.get("s")->str_or(""), snowman_grin);
+}
+
+// ---- ArgParse: strict numeric value parsing ----
+
+namespace argparse_test {
+
+// Builds an ArgParse over a writable copy of the given flags.
+template <typename Fn>
+auto with_args(std::vector<std::string> flags, Fn fn) {
+  std::vector<std::string> argv_store;
+  argv_store.push_back("prog");
+  for (auto& f : flags) argv_store.push_back(std::move(f));
+  std::vector<char*> argv;
+  for (auto& s : argv_store) argv.push_back(s.data());
+  ArgParse args(static_cast<int>(argv.size()), argv.data());
+  return fn(args);
+}
+
+}  // namespace argparse_test
+
+TEST(ArgParse, ParsesWellFormedValues) {
+  using argparse_test::with_args;
+  EXPECT_EQ(with_args({"--n=123"},
+                      [](ArgParse& a) { return a.get_u64("n", 7); }),
+            123u);
+  EXPECT_EQ(with_args({}, [](ArgParse& a) { return a.get_u64("n", 7); }), 7u);
+  EXPECT_EQ(with_args({"--n", "456"},
+                      [](ArgParse& a) { return a.get_u64("n", 7); }),
+            456u);
+  EXPECT_EQ(with_args({"--n=18446744073709551615"},
+                      [](ArgParse& a) { return a.get_u64("n", 7); }),
+            ~uint64_t{0});
+  EXPECT_DOUBLE_EQ(with_args({"--x=-2.5e2"},
+                             [](ArgParse& a) { return a.get_double("x", 1); }),
+                   -250.0);
+  // Underflow is not an error: a tiny spelling denotes the subnormal/zero
+  // strtod produces (only overflow is out of range).
+  EXPECT_LT(with_args({"--x=1e-310"},
+                      [](ArgParse& a) { return a.get_double("x", 1); }),
+            1e-300);
+  EXPECT_TRUE(with_args({"--flag"},
+                        [](ArgParse& a) { return a.get_bool("flag", false); }));
+}
+
+using ArgParseDeath = ::testing::Test;
+
+TEST(ArgParseDeath, RejectsMalformedU64) {
+  using argparse_test::with_args;
+  const auto get_n = [](ArgParse& a) { return a.get_u64("n", 7); };
+  // The historical bug: --n=abc silently parsed as 0. Now every malformed
+  // value exits 2 with the usage message, same as an unknown flag.
+  EXPECT_EXIT(with_args({"--n=abc"}, get_n), testing::ExitedWithCode(2),
+              "invalid value for --n: 'abc'");
+  EXPECT_EXIT(with_args({"--n=12abc"}, get_n), testing::ExitedWithCode(2),
+              "invalid value for --n");
+  EXPECT_EXIT(with_args({"--n="}, get_n), testing::ExitedWithCode(2),
+              "invalid value for --n");
+  EXPECT_EXIT(with_args({"--n=-5"}, get_n), testing::ExitedWithCode(2),
+              "invalid value for --n: '-5'");
+  EXPECT_EXIT(with_args({"--n=99999999999999999999"}, get_n),
+              testing::ExitedWithCode(2), "out of range");
+  EXPECT_EXIT(with_args({"--n=1.5"}, get_n), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(ArgParseDeath, RejectsMalformedDouble) {
+  using argparse_test::with_args;
+  const auto get_x = [](ArgParse& a) { return a.get_double("x", 1.0); };
+  EXPECT_EXIT(with_args({"--x=abc"}, get_x), testing::ExitedWithCode(2),
+              "invalid value for --x: 'abc'");
+  EXPECT_EXIT(with_args({"--x=1.5garbage"}, get_x),
+              testing::ExitedWithCode(2), "invalid value for --x");
+  EXPECT_EXIT(with_args({"--x="}, get_x), testing::ExitedWithCode(2),
+              "invalid value for --x");
+  EXPECT_EXIT(with_args({"--x=1e999"}, get_x), testing::ExitedWithCode(2),
+              "out of range");
+}
+
+TEST(ArgParseDeath, UsageListsKnownFlagsOnBadValue) {
+  using argparse_test::with_args;
+  EXPECT_EXIT(with_args({"--n=abc"},
+                        [](ArgParse& a) {
+                          a.get_u64("other", 1);  // registered before n
+                          return a.get_u64("n", 7);
+                        }),
+              testing::ExitedWithCode(2), "usage: .*--n=7.*--other=1");
 }
 
 TEST(SmallVector, InlineThenSpill) {

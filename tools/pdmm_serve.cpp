@@ -1,0 +1,232 @@
+// pdmm_serve: drives the concurrent read path end-to-end — one updater
+// thread applies an update stream (generated churn or a replayed trace)
+// against a DynamicMatcher while N reader threads answer queries against
+// the published MatchViews, and reports reader throughput and view
+// staleness.
+//
+//   pdmm_serve --readers=4 --n=4096 --batches=500 --batch_size=256
+//   pdmm_serve --readers=8 --validate            # validate each new epoch
+//   pdmm_serve --trace=trace.txt --readers=4     # replay a recorded trace
+//
+// Each reader loops: acquire the latest view, sample its staleness
+// (published epoch minus the view's), run --queries_per_view random
+// queries (matched_edge_of / level_of / is_matched round-trips), release,
+// repeat. Staleness 0 means the reader got the newest completed batch;
+// the updater never waits for readers and readers never wait for the
+// updater, so queries/s measures the cost of the read path itself, not
+// lock contention.
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "serve/view_service.h"
+#include "util/arg_parse.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+using namespace pdmm;
+
+namespace {
+
+struct ReaderStats {
+  uint64_t queries = 0;
+  uint64_t acquires = 0;
+  uint64_t epochs_seen = 0;     // distinct epochs this reader observed
+  uint64_t staleness_sum = 0;   // sampled at each acquire
+  uint64_t staleness_max = 0;
+  uint64_t matched_hits = 0;    // queries that found a matched vertex
+  bool monotone = true;         // epochs never went backwards
+  bool valid = true;            // every validated view passed
+  std::string first_error;
+};
+
+void reader_loop(MatchViewService& serve, const std::atomic<bool>& done,
+                 bool validate, uint64_t queries_per_view, uint64_t seed,
+                 ReaderStats& out) {
+  Xoshiro256 rng(seed);
+  uint64_t last_epoch = 0;
+  while (true) {
+    const bool finishing = done.load(std::memory_order_acquire);
+    ViewHandle h = serve.acquire();
+    if (!h) {
+      if (finishing) break;
+      continue;
+    }
+    ++out.acquires;
+    const uint64_t epoch = h->epoch;
+    if (epoch < last_epoch) out.monotone = false;
+    if (epoch != last_epoch || out.epochs_seen == 0) {
+      ++out.epochs_seen;
+      if (validate) {
+        std::string err;
+        if (!h->validate(&err)) {
+          out.valid = false;
+          if (out.first_error.empty()) {
+            out.first_error = "epoch " + std::to_string(epoch) + ": " + err;
+          }
+        }
+      }
+    }
+    last_epoch = epoch;
+    const uint64_t published = serve.published_epoch();
+    const uint64_t staleness = published - epoch;
+    out.staleness_sum += staleness;
+    out.staleness_max = std::max(out.staleness_max, staleness);
+
+    const size_t nv = h->vertex_bound();
+    for (uint64_t q = 0; q < queries_per_view; ++q) {
+      const Vertex v = nv ? static_cast<Vertex>(rng.below(nv)) : 0;
+      const EdgeId e = h->matched_edge_of(v);
+      if (e != kNoEdge) {
+        ++out.matched_hits;
+        // Full round-trip: the matched edge must contain v and be listed.
+        const auto eps = h->endpoints_of_matched(e);
+        if (std::find(eps.begin(), eps.end(), v) == eps.end() ||
+            !h->is_matched(e)) {
+          out.valid = false;
+          if (out.first_error.empty()) {
+            out.first_error =
+                "epoch " + std::to_string(epoch) + ": vertex " +
+                std::to_string(v) + " round-trip failed";
+          }
+        }
+      } else if (h->level_of(v) != kUnmatchedLevel) {
+        out.valid = false;
+        if (out.first_error.empty()) {
+          out.first_error = "epoch " + std::to_string(epoch) +
+                            ": unmatched vertex " + std::to_string(v) +
+                            " has a level";
+        }
+      }
+      ++out.queries;
+    }
+    h.release();
+    if (finishing) break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParse args(argc, argv);
+  const uint64_t n = args.get_u64("n", 1 << 12);
+  const uint64_t rank = args.get_u64("rank", 2);
+  const uint64_t target = args.get_u64("target_edges", 2 * n);
+  const uint64_t batches = args.get_u64("batches", 500);
+  const uint64_t batch_size = args.get_u64("batch_size", 256);
+  const uint64_t readers = args.get_u64("readers", 4);
+  const uint64_t queries_per_view = args.get_u64("queries_per_view", 256);
+  const uint64_t seed = args.get_u64("seed", 1);
+  const uint64_t threads = args.get_u64("threads", 0);
+  const bool validate = args.get_bool("validate", false);
+  const std::string trace_path = args.get_string("trace", "");
+  args.finish();
+
+  // The update stream: a recorded trace, or steady-state churn.
+  std::vector<Batch> trace;
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::cerr << "cannot open trace " << trace_path << "\n";
+      return 1;
+    }
+    std::string err;
+    if (!read_trace(in, trace, &err)) {
+      std::cerr << "invalid trace: " << err << "\n";
+      return 1;
+    }
+  } else {
+    ChurnStream::Options so;
+    so.n = static_cast<Vertex>(n);
+    so.rank = static_cast<uint32_t>(rank);
+    so.target_edges = target;
+    so.seed = seed;
+    ChurnStream stream(so);
+    trace = record_stream(stream, batches, batch_size);
+  }
+
+  ThreadPool pool(static_cast<unsigned>(threads));
+  Config cfg;
+  cfg.max_rank = static_cast<uint32_t>(rank);
+  cfg.seed = seed + 1;
+  cfg.initial_capacity = 1 << 20;
+  DynamicMatcher m(cfg, pool);
+  MatchViewService::Options sopt;
+  sopt.max_readers = static_cast<size_t>(readers) * 2 + 8;
+  MatchViewService serve(m, sopt);
+
+  std::atomic<bool> done{false};
+  std::vector<ReaderStats> stats(readers);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (uint64_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      reader_loop(serve, done, validate, queries_per_view,
+                  hash_mix(seed, r + 100), stats[r]);
+    });
+  }
+
+  Timer t;
+  uint64_t updates = 0;
+  for (const Batch& b : trace) {
+    updates += b.deletions.size() + b.insertions.size();
+    m.update_by_endpoints(b.deletions, b.insertions);
+  }
+  const double update_secs = t.seconds();
+  done.store(true, std::memory_order_release);
+  for (auto& th : reader_threads) th.join();
+  const double total_secs = t.seconds();
+
+  ReaderStats sum;
+  bool all_valid = true, all_monotone = true;
+  for (uint64_t r = 0; r < readers; ++r) {
+    const ReaderStats& s = stats[r];
+    std::cout << "reader " << r << ": " << s.queries << " queries, "
+              << s.acquires << " acquires, " << s.epochs_seen
+              << " epochs, staleness max=" << s.staleness_max << " mean="
+              << (s.acquires
+                      ? static_cast<double>(s.staleness_sum) /
+                            static_cast<double>(s.acquires)
+                      : 0.0)
+              << (s.monotone ? "" : "  EPOCHS NOT MONOTONE")
+              << (s.valid ? "" : "  VALIDATION FAILED") << "\n";
+    if (!s.first_error.empty()) {
+      std::cout << "  first error: " << s.first_error << "\n";
+    }
+    sum.queries += s.queries;
+    sum.acquires += s.acquires;
+    sum.staleness_max = std::max(sum.staleness_max, s.staleness_max);
+    all_valid &= s.valid;
+    all_monotone &= s.monotone;
+  }
+
+  ViewChannel& ch = serve.channel();
+  ch.reclaim();  // readers are gone: everything but the current view frees
+  std::cout << "updater: " << trace.size() << " batches, " << updates
+            << " updates in " << update_secs << " s ("
+            << static_cast<uint64_t>(static_cast<double>(updates) /
+                                     std::max(update_secs, 1e-9))
+            << " upd/s), |M|=" << m.matching_size() << "\n";
+  std::cout << "readers: " << readers << " threads, " << sum.queries
+            << " queries in " << total_secs << " s ("
+            << static_cast<uint64_t>(static_cast<double>(sum.queries) /
+                                     std::max(total_secs, 1e-9))
+            << " q/s), " << sum.acquires
+            << " acquires, staleness max=" << sum.staleness_max << "\n";
+  std::cout << "views: " << ch.published_count() << " published, "
+            << ch.freed_count() << " reclaimed, " << ch.retired_pending()
+            << " pending"
+            << (validate ? ", validation on" : "") << "\n";
+  if (!all_valid || !all_monotone) {
+    std::cerr << "FAILED: "
+              << (!all_valid ? "view validation " : "")
+              << (!all_monotone ? "epoch monotonicity" : "") << "\n";
+    return 1;
+  }
+  return 0;
+}

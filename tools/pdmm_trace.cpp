@@ -67,7 +67,12 @@ int replay(ArgParse& args, const std::string& impl) {
   const bool quiet = args.get_bool("quiet", false);
   args.finish();
 
-  std::vector<Batch> trace = read_trace(std::cin);
+  std::vector<Batch> trace;
+  std::string trace_err;
+  if (!read_trace(std::cin, trace, &trace_err)) {
+    std::cerr << "invalid trace: " << trace_err << "\n";
+    return 1;
+  }
   ThreadPool pool;
   std::unique_ptr<MatcherBase> m;
   if (impl == "pdmm") {

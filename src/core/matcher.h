@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -53,6 +54,24 @@ namespace pdmm {
 
 class MatchingChecker;
 struct MatchView;
+
+// Outcome of DynamicMatcher::load(). Snapshot input is treated as
+// untrusted: every malformed, truncated, out-of-bounds or inconsistent
+// input is reported here as a recoverable error — load() never aborts the
+// process and never performs an out-of-bounds access, whatever the bytes.
+struct SnapshotError {
+  // 1-based line of the offending snapshot line; 0 when the error is not
+  // tied to a single line (stream-level failure, post-load verification).
+  size_t line = 0;
+  std::string message;  // empty <=> success
+
+  bool ok() const { return message.empty(); }
+  std::string to_string() const {
+    if (ok()) return "ok";
+    if (line == 0) return "snapshot: " + message;
+    return "snapshot line " + std::to_string(line) + ": " + message;
+  }
+};
 
 class DynamicMatcher {
  public:
@@ -164,6 +183,7 @@ class DynamicMatcher {
     post_batch_hook_ = std::move(hook);
   }
 
+  const Config& config() const { return cfg_; }
   const LevelScheme& scheme() const { return scheme_; }
   const MatcherStats& stats() const { return stats_; }
   const EpochStats& epoch_stats() const { return epochs_; }
@@ -183,8 +203,24 @@ class DynamicMatcher {
   // continues *bit-identically* to the original instance. Cumulative
   // statistics (stats(), epoch_stats(), cost()) are not part of the state
   // and reset on load.
-  void save(std::ostream& out) const;
-  void load(std::istream& in);
+  //
+  // save() returns false when the output stream failed (disk full, closed
+  // pipe, ...) — the written bytes must then be discarded, they are not a
+  // usable snapshot. load() validates its input exhaustively (see
+  // SnapshotError); on failure the matcher is reset to the pristine empty
+  // state of a freshly constructed instance, so it remains fully usable.
+  // Known bound of that contract: hostile declared sizes are rejected by
+  // domain caps and a bad_alloc guard, but an absurd in-domain bound can
+  // still be OOM-killed (not reported) on kernels that overcommit —
+  // checkpoint CRCs (src/persist) are the integrity layer that keeps
+  // accidental corruption from ever reaching those bounds.
+  [[nodiscard]] bool save(std::ostream& out) const;
+  [[nodiscard]] SnapshotError load(std::istream& in);
+  // Resets to the state of a freshly constructed instance (empty graph,
+  // epoch 0, scheme from Config::initial_capacity). load() calls this on
+  // failure; persist::recover() calls it to discard a checkpoint it
+  // loaded but then rejected.
+  void reset_to_empty();
 
  private:
   friend class MatchingChecker;
@@ -387,6 +423,10 @@ class DynamicMatcher {
   void grow_edges(size_t bound);
   void maybe_rebuild(size_t incoming_updates);
   void reset_state();
+  // Snapshot-loader internals (core/snapshot.cpp).
+  SnapshotError load_validated(std::istream& in);
+  SnapshotError verify_loaded_state(size_t declared_alive);
+  void reset_cumulative_stats();
   uint64_t settle_rng_stream() const;
 
   Config cfg_;

@@ -21,16 +21,31 @@
 //   d <eid> <D member ids in order...>  (only non-empty)
 //   bd <eid> <epoch_d_deleted>          (only non-zero)
 //   end
+//
+// The loader treats its input as *untrusted* (snapshots travel through
+// files, checkpoints and journals that can be truncated, bit-rotted or
+// hand-edited): every id is bounds-checked against the declared reg/nv
+// bounds before it indexes anything, every numeric field is parsed
+// strictly (a failed extraction is an error, not an uninitialized read),
+// duplicate lines and duplicate set members are rejected, truncation (a
+// missing `end` trailer) is rejected, and after the structural lines a
+// verification pass cross-checks the declared counts and the pairwise
+// pointer structure (matched edges <-> vertex matched pointers, owned /
+// A(v,l) membership <-> edge owner and level, D(e) <-> eresp). Errors are
+// returned as a line-numbered SnapshotError — never an abort — and leave
+// the matcher reset to its freshly-constructed empty state.
+#include <algorithm>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/matcher.h"
+#include "util/parse_num.h"
 
 namespace pdmm {
 
-void DynamicMatcher::save(std::ostream& out) const {
+bool DynamicMatcher::save(std::ostream& out) const {
   out << "pdmm-snapshot v1\n";
   out << "cfg " << cfg_.max_rank << ' ' << cfg_.seed << ' '
       << cfg_.settle_after_insertions << ' ' << cfg_.subsettle_iter_factor
@@ -81,50 +96,293 @@ void DynamicMatcher::save(std::ostream& out) const {
     }
   }
   out << "end\n";
+  // A full disk or closed pipe raises badbit/failbit on the stream; a
+  // snapshot that was not written completely is worse than no snapshot.
+  out.flush();
+  return out.good();
 }
 
-void DynamicMatcher::load(std::istream& in) {
+namespace {
+
+// Whitespace tokenizer over one snapshot line. Tokens are copied into a
+// reusable buffer so the strict strto*-based parsers (which need NUL
+// termination) apply unchanged.
+const std::string kNoLine;
+
+class LineTokens {
+ public:
+  // Default-constructed: an empty line (next() false, at_end() true) —
+  // never a dangling pointer, whatever the caller does before the first
+  // real assignment.
+  LineTokens() : line_(&kNoLine) {}
+  explicit LineTokens(const std::string& line) : line_(&line) {}
+
+  bool next(std::string& tok) {
+    const std::string& s = *line_;
+    while (pos_ < s.size() && (s[pos_] == ' ' || s[pos_] == '\t')) ++pos_;
+    if (pos_ >= s.size()) return false;
+    const size_t start = pos_;
+    while (pos_ < s.size() && s[pos_] != ' ' && s[pos_] != '\t') ++pos_;
+    tok.assign(s, start, pos_ - start);
+    return true;
+  }
+
+  bool at_end() {
+    const std::string& s = *line_;
+    while (pos_ < s.size() && (s[pos_] == ' ' || s[pos_] == '\t')) ++pos_;
+    return pos_ >= s.size();
+  }
+
+ private:
+  const std::string* line_;
+  size_t pos_ = 0;
+};
+
+// Parse state threaded through the load: current line, line number, and
+// the pending error. All parse_* helpers return false after recording a
+// line-numbered error, so call sites read as straight-line code.
+struct Cursor {
+  std::istream& in;
   std::string line;
-  auto next_line = [&](const char* what) {
-    PDMM_ASSERT_MSG(static_cast<bool>(std::getline(in, line)), what);
-    return std::istringstream(line);
-  };
+  std::string tok;
+  size_t lineno = 0;
+  SnapshotError err;
+
+  explicit Cursor(std::istream& s) : in(s) {}
+
+  bool fail(std::string message) {
+    if (err.ok()) {
+      err.line = lineno;
+      err.message = std::move(message);
+    }
+    return false;
+  }
+
+  bool next_line(LineTokens& lt, const char* what) {
+    if (!std::getline(in, line)) {
+      lineno = 0;  // stream-level: the line simply is not there
+      return fail(std::string("unexpected end of snapshot (expected ") +
+                  what + ")");
+    }
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lt = LineTokens(line);
+    return true;
+  }
+
+  bool tok_u64(LineTokens& lt, const char* what, uint64_t& out,
+               uint64_t max) {
+    if (!lt.next(tok)) {
+      return fail(std::string("missing ") + what);
+    }
+    switch (parse_u64_strict(tok, out)) {
+      case ParseNum::kMalformed:
+        return fail(std::string("bad ") + what + " '" + tok +
+                    "' (expected an unsigned integer)");
+      case ParseNum::kOutOfRange:
+        return fail(std::string(what) + " '" + tok + "' out of range");
+      case ParseNum::kOk:
+        break;
+    }
+    if (out > max) {
+      return fail(std::string(what) + " " + tok + " exceeds bound " +
+                  std::to_string(max));
+    }
+    return true;
+  }
+
+  // An id that must index a declared bound: fails when the bound is zero
+  // or the value is >= bound, before the caller ever uses it as an index.
+  bool tok_id(LineTokens& lt, const char* what, uint64_t& out,
+              uint64_t bound) {
+    if (!tok_u64(lt, what, out, UINT64_MAX)) return false;
+    if (out >= bound) {
+      return fail(std::string(what) + " " + std::to_string(out) +
+                  " outside the declared bound " + std::to_string(bound));
+    }
+    return true;
+  }
+
+  bool tok_level(LineTokens& lt, const char* what, Level& out, Level lo,
+                 Level hi) {
+    if (!lt.next(tok)) {
+      return fail(std::string("missing ") + what);
+    }
+    int64_t v = 0;
+    switch (parse_i64_strict(tok, v)) {
+      case ParseNum::kMalformed:
+        return fail(std::string("bad ") + what + " '" + tok +
+                    "' (expected an integer)");
+      case ParseNum::kOutOfRange:
+        return fail(std::string(what) + " '" + tok + "' out of range");
+      case ParseNum::kOk:
+        break;
+    }
+    if (v < lo || v > hi) {
+      return fail(std::string(what) + " " + tok + " outside [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    out = static_cast<Level>(v);
+    return true;
+  }
+
+  bool line_done(LineTokens& lt) {
+    if (!lt.at_end()) {
+      lt.next(tok);
+      return fail("unexpected trailing token '" + tok + "'");
+    }
+    return true;
+  }
+};
+
+// Per-id occupancy while restoring the registry: every id in [0, id_bound)
+// must end up exactly alive or exactly free, whatever order the e/f lines
+// arrive in.
+enum : uint8_t { kIdUnseen = 0, kIdAlive = 1, kIdFree = 2 };
+
+}  // namespace
+
+void DynamicMatcher::reset_to_empty() {
+  scheme_ = LevelScheme(cfg_.max_rank,
+                        std::max<uint64_t>(cfg_.initial_capacity, 2));
+  reg_.restore_begin(0);
+  verts_.clear();
+  elevel_.clear();
+  eowner_.clear();
+  eflags_.clear();
+  eresp_.clear();
+  edge_d_.clear();
+  epoch_d_deleted_.clear();
+  s_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  undecided_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  reinsert_queue_.clear();
+  batch_journal_.clear();
+  matching_size_ = 0;
+  updates_used_ = 0;
+  batch_counter_ = 0;
+  settle_counter_ = 0;
+  reset_cumulative_stats();
+}
+
+// Cumulative statistics are not part of the snapshot state: both a
+// successful load and a reset start the instance with fresh counters, as
+// the save/load contract documents.
+void DynamicMatcher::reset_cumulative_stats() {
+  stats_ = MatcherStats{};
+  epochs_.resize(epochs_.created.size());
+  cost_.reset();
+}
+
+SnapshotError DynamicMatcher::load(std::istream& in) {
+  SnapshotError err;
+  try {
+    err = load_validated(in);
+  } catch (const std::bad_alloc&) {
+    err = {0, "allocation failed (snapshot declares implausible bounds)"};
+  } catch (const std::length_error&) {
+    err = {0, "allocation failed (snapshot declares implausible bounds)"};
+  }
+  // A failed load leaves partially-restored structures behind; reset to
+  // the freshly-constructed empty state so the matcher stays usable.
+  if (!err.ok()) {
+    reset_to_empty();
+  } else {
+    reset_cumulative_stats();
+  }
+  return err;
+}
+
+SnapshotError DynamicMatcher::load_validated(std::istream& in) {
+  Cursor cur(in);
+  LineTokens lt;
+  const auto failed = [&cur] { return cur.err; };
 
   {
-    auto ls = next_line("snapshot header");
+    if (!cur.next_line(lt, "snapshot header")) return failed();
     std::string magic, version;
-    ls >> magic >> version;
-    PDMM_ASSERT_MSG(magic == "pdmm-snapshot" && version == "v1",
-                    "unrecognized snapshot header");
+    if (!lt.next(magic) || !lt.next(version) || magic != "pdmm-snapshot" ||
+        version != "v1" || !lt.at_end()) {
+      cur.fail("unrecognized snapshot header (expected 'pdmm-snapshot v1')");
+      return failed();
+    }
   }
   {
-    auto ls = next_line("cfg line");
+    if (!cur.next_line(lt, "cfg line")) return failed();
     std::string tag;
-    uint32_t rank;
-    uint64_t seed;
-    ls >> tag >> rank >> seed;
-    PDMM_ASSERT_MSG(tag == "cfg", "expected cfg line");
-    PDMM_ASSERT_MSG(rank == cfg_.max_rank,
-                    "snapshot rank differs from this matcher's Config");
-    PDMM_ASSERT_MSG(seed == cfg_.seed,
-                    "snapshot seed differs; continuation would diverge");
+    if (!lt.next(tag) || tag != "cfg") {
+      cur.fail("expected cfg line");
+      return failed();
+    }
+    uint64_t rank = 0, seed = 0, eager = 0, iter_factor = 0, repeats = 0,
+             sweeps = 0;
+    if (!cur.tok_u64(lt, "cfg max_rank", rank, UINT32_MAX) ||
+        !cur.tok_u64(lt, "cfg seed", seed, UINT64_MAX) ||
+        !cur.tok_u64(lt, "cfg eager", eager, 1) ||
+        !cur.tok_u64(lt, "cfg iter_factor", iter_factor, UINT32_MAX) ||
+        !cur.tok_u64(lt, "cfg max_repeats", repeats, UINT32_MAX) ||
+        !cur.tok_u64(lt, "cfg max_eager", sweeps, UINT32_MAX) ||
+        !cur.line_done(lt)) {
+      return failed();
+    }
+    if (rank != cfg_.max_rank) {
+      cur.fail("snapshot rank " + std::to_string(rank) +
+               " differs from this matcher's Config rank " +
+               std::to_string(cfg_.max_rank));
+      return failed();
+    }
+    if (seed != cfg_.seed) {
+      cur.fail("snapshot seed differs from this matcher's Config seed; "
+               "continuation would diverge");
+      return failed();
+    }
+    // The remaining cfg fields steer future batches; a mismatch does not
+    // corrupt the restored state but would fork the continuation.
+    if (eager != (cfg_.settle_after_insertions ? 1u : 0u) ||
+        iter_factor != cfg_.subsettle_iter_factor ||
+        repeats != cfg_.max_settle_repeats ||
+        sweeps != cfg_.max_eager_sweeps) {
+      cur.fail("snapshot settle parameters differ from this matcher's "
+               "Config; continuation would diverge");
+      return failed();
+    }
   }
+
+  uint64_t n_bound = 0;
   {
-    auto ls = next_line("sch line");
+    if (!cur.next_line(lt, "sch line")) return failed();
     std::string tag;
-    uint64_t n_bound;
-    ls >> tag >> n_bound >> updates_used_ >> batch_counter_ >>
-        settle_counter_;
-    PDMM_ASSERT_MSG(tag == "sch", "expected sch line");
+    if (!lt.next(tag) || tag != "sch") {
+      cur.fail("expected sch line");
+      return failed();
+    }
+    if (!cur.tok_u64(lt, "sch n_bound", n_bound, UINT64_MAX) ||
+        !cur.tok_u64(lt, "sch updates_used", updates_used_, UINT64_MAX) ||
+        !cur.tok_u64(lt, "sch batch_counter", batch_counter_, UINT64_MAX) ||
+        !cur.tok_u64(lt, "sch settle_counter", settle_counter_,
+                     UINT64_MAX) ||
+        !cur.line_done(lt)) {
+      return failed();
+    }
     scheme_ = LevelScheme(cfg_.max_rank, n_bound);
   }
+  const Level top = scheme_.top_level();
 
-  size_t id_bound = 0, num_alive = 0;
+  uint64_t id_bound = 0, num_alive = 0;
   {
-    auto ls = next_line("reg line");
+    if (!cur.next_line(lt, "reg line")) return failed();
     std::string tag;
-    ls >> tag >> id_bound >> num_alive;
-    PDMM_ASSERT_MSG(tag == "reg", "expected reg line");
+    if (!lt.next(tag) || tag != "reg") {
+      cur.fail("expected reg line");
+      return failed();
+    }
+    // Ids are uint32 with kNoEdge reserved, which also keeps a hostile
+    // id_bound from requesting astronomically large arrays outright (the
+    // bad_alloc guard in load() catches what still slips through).
+    if (!cur.tok_u64(lt, "reg id_bound", id_bound, kNoEdge) ||
+        !cur.tok_u64(lt, "reg num_alive", num_alive, id_bound) ||
+        !cur.line_done(lt)) {
+      return failed();
+    }
   }
   reg_.restore_begin(id_bound);
   reset_state();
@@ -137,72 +395,455 @@ void DynamicMatcher::load(std::istream& in) {
   edge_d_.resize(id_bound);
   epoch_d_deleted_.assign(id_bound, 0);
 
-  s_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
-  undecided_.assign(static_cast<size_t>(scheme_.top_level()) + 1, {});
+  s_.assign(static_cast<size_t>(top) + 1, {});
+  undecided_.assign(static_cast<size_t>(top) + 1, {});
   matching_size_ = 0;
 
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
+  std::vector<uint8_t> id_state(id_bound, kIdUnseen);
+  std::vector<uint8_t> v_seen;  // sized once the nv line arrives
+  std::vector<Vertex> eps;
+  std::vector<EdgeId> free_ids;
+  bool saw_nv = false, saw_free = false, saw_end = false;
+  uint64_t nv = 0;
+
+  while (std::getline(in, cur.line)) {
+    ++cur.lineno;
+    if (!cur.line.empty() && cur.line.back() == '\r') cur.line.pop_back();
+    if (cur.line.empty()) continue;
+    lt = LineTokens(cur.line);
     std::string tag;
-    ls >> tag;
-    if (tag == "end") break;
+    if (!lt.next(tag)) continue;  // whitespace-only line
+    if (tag == "end") {
+      if (!cur.line_done(lt)) return failed();
+      saw_end = true;
+      break;
+    }
     if (tag == "e") {
-      EdgeId id;
-      size_t k;
-      ls >> id >> k;
-      std::vector<Vertex> eps(k);
-      for (auto& v : eps) ls >> v;
-      int flags;
-      ls >> elevel_[id] >> eowner_[id] >> flags >> eresp_[id];
+      uint64_t id = 0, k = 0;
+      if (!cur.tok_id(lt, "edge id", id, id_bound) ||
+          !cur.tok_u64(lt, "edge rank", k, cfg_.max_rank)) {
+        return failed();
+      }
+      if (k == 0) {
+        cur.fail("edge rank must be at least 1");
+        return failed();
+      }
+      if (id_state[id] != kIdUnseen) {
+        cur.fail("duplicate edge id " + std::to_string(id));
+        return failed();
+      }
+      eps.resize(k);
+      for (size_t i = 0; i < k; ++i) {
+        uint64_t v = 0;
+        if (!cur.tok_u64(lt, "edge endpoint", v, kNoVertex - 1)) {
+          return failed();
+        }
+        eps[i] = static_cast<Vertex>(v);
+        // save() emits canonical (sorted, duplicate-free) endpoints; the
+        // registry's restore path relies on that.
+        if (i > 0 && eps[i] <= eps[i - 1]) {
+          cur.fail("edge endpoints not strictly ascending");
+          return failed();
+        }
+      }
+      Level lvl = 0;
+      uint64_t owner = 0, flags = 0, resp = 0;
+      if (!cur.tok_level(lt, "edge level", lvl, kUnmatchedLevel, top) ||
+          !cur.tok_u64(lt, "edge owner", owner, kNoVertex) ||
+          !cur.tok_u64(lt, "edge flags", flags, kMatched | kTempDeleted) ||
+          !cur.tok_u64(lt, "edge resp", resp, kNoEdge) ||
+          !cur.line_done(lt)) {
+        return failed();
+      }
+      if ((flags & kMatched) && (flags & kTempDeleted)) {
+        cur.fail("edge flagged both matched and temp-deleted");
+        return failed();
+      }
+      if (resp != kNoEdge && resp >= id_bound) {
+        cur.fail("edge resp " + std::to_string(resp) +
+                 " outside the declared id bound");
+        return failed();
+      }
+      if (reg_.find(eps) != kNoEdge) {
+        cur.fail("duplicate edge endpoint set");
+        return failed();
+      }
+      elevel_[id] = lvl;
+      eowner_[id] = static_cast<Vertex>(owner);
       eflags_[id] = static_cast<uint8_t>(flags);
-      reg_.restore_slot(id, eps);
-      if (eflags_[id] & kMatched) ++matching_size_;
+      eresp_[id] = static_cast<EdgeId>(resp);
+      id_state[id] = kIdAlive;
+      reg_.restore_slot(static_cast<EdgeId>(id), eps);
+      if (flags & kMatched) ++matching_size_;
     } else if (tag == "f") {
-      std::vector<EdgeId> free_ids;
-      EdgeId e;
-      while (ls >> e) free_ids.push_back(e);
+      if (saw_free) {
+        cur.fail("duplicate free-list line");
+        return failed();
+      }
+      saw_free = true;
+      free_ids.clear();
+      while (!lt.at_end()) {
+        uint64_t id = 0;
+        if (!cur.tok_id(lt, "free id", id, id_bound)) {
+          return failed();
+        }
+        if (id_state[id] != kIdUnseen) {
+          cur.fail("free id " + std::to_string(id) +
+                   (id_state[id] == kIdAlive ? " is an alive edge"
+                                             : " listed twice"));
+          return failed();
+        }
+        id_state[id] = kIdFree;
+        free_ids.push_back(static_cast<EdgeId>(id));
+      }
       reg_.restore_free_list(free_ids);
     } else if (tag == "nv") {
-      size_t nv;
-      ls >> nv;
+      if (saw_nv) {
+        cur.fail("duplicate nv line");
+        return failed();
+      }
+      if (!cur.tok_u64(lt, "vertex bound", nv, kNoVertex) ||
+          !cur.line_done(lt)) {
+        return failed();
+      }
+      saw_nv = true;
+      verts_.clear();
       verts_.resize(nv);
-    } else if (tag == "v") {
-      Vertex v;
-      ls >> v;
-      ls >> verts_[v].level >> verts_[v].matched;
-    } else if (tag == "o") {
-      Vertex v;
-      ls >> v;
-      EdgeId e;
-      while (ls >> e) verts_[v].owned.insert(e);
-    } else if (tag == "a") {
-      Vertex v;
-      Level l;
-      ls >> v >> l;
-      IndexedSet& set = verts_[v].ensure_a(l);
-      EdgeId e;
-      while (ls >> e) set.insert(e);
+      v_seen.assign(nv, 0);
+    } else if (tag == "v" || tag == "o" || tag == "a") {
+      if (!saw_nv) {
+        cur.fail(tag + " line before the nv line");
+        return failed();
+      }
+      uint64_t v = 0;
+      if (!cur.tok_id(lt, "vertex id", v, nv)) return failed();
+      VertexState& vs = verts_[v];
+      if (tag == "v") {
+        if (v_seen[v]) {
+          cur.fail("duplicate v line for vertex " + std::to_string(v));
+          return failed();
+        }
+        v_seen[v] = 1;
+        Level lvl = kUnmatchedLevel;
+        uint64_t matched = 0;
+        if (!cur.tok_level(lt, "vertex level", lvl, kUnmatchedLevel, top) ||
+            !cur.tok_u64(lt, "vertex matched edge", matched, kNoEdge) ||
+            !cur.line_done(lt)) {
+          return failed();
+        }
+        if (matched != kNoEdge && matched >= id_bound) {
+          cur.fail("vertex matched edge " + std::to_string(matched) +
+                   " outside the declared id bound");
+          return failed();
+        }
+        if ((lvl == kUnmatchedLevel) != (matched == kNoEdge)) {
+          cur.fail("vertex level -1 must coincide with being unmatched");
+          return failed();
+        }
+        vs.level = lvl;
+        vs.matched = static_cast<EdgeId>(matched);
+      } else if (tag == "o") {
+        if (!vs.owned.empty()) {
+          cur.fail("duplicate owned line for vertex " + std::to_string(v));
+          return failed();
+        }
+        while (!lt.at_end()) {
+          uint64_t e = 0;
+          if (!cur.tok_id(lt, "owned edge id", e, id_bound)) {
+            return failed();
+          }
+          if (id_state[e] != kIdAlive) {
+            cur.fail("owned edge " + std::to_string(e) + " is not alive");
+            return failed();
+          }
+          if (!vs.owned.insert(static_cast<EdgeId>(e))) {
+            cur.fail("duplicate member " + std::to_string(e) +
+                     " in owned set");
+            return failed();
+          }
+        }
+        if (vs.owned.empty()) {
+          cur.fail("owned line without edge ids");
+          return failed();
+        }
+      } else {  // "a"
+        Level lvl = 0;
+        if (!cur.tok_level(lt, "A(v,l) level", lvl, 0, top)) return failed();
+        if (vs.find_a(lvl) != nullptr) {
+          cur.fail("duplicate A(v,l) line for vertex " + std::to_string(v) +
+                   " level " + std::to_string(lvl));
+          return failed();
+        }
+        IndexedSet& set = vs.ensure_a(lvl);
+        while (!lt.at_end()) {
+          uint64_t e = 0;
+          if (!cur.tok_id(lt, "A(v,l) edge id", e, id_bound)) {
+            return failed();
+          }
+          if (id_state[e] != kIdAlive) {
+            cur.fail("A(v,l) edge " + std::to_string(e) + " is not alive");
+            return failed();
+          }
+          if (!set.insert(static_cast<EdgeId>(e))) {
+            cur.fail("duplicate member " + std::to_string(e) + " in A(v,l)");
+            return failed();
+          }
+        }
+        if (set.empty()) {
+          cur.fail("A(v,l) line without edge ids");
+          return failed();
+        }
+      }
     } else if (tag == "d") {
-      EdgeId e;
-      ls >> e;
+      uint64_t e = 0;
+      if (!cur.tok_id(lt, "D(e) edge id", e, id_bound)) {
+        return failed();
+      }
+      if (id_state[e] != kIdAlive) {
+        cur.fail("D(e) head " + std::to_string(e) + " is not alive");
+        return failed();
+      }
+      if (edge_d_[e]) {
+        cur.fail("duplicate D(e) line for edge " + std::to_string(e));
+        return failed();
+      }
       edge_d_[e] = std::make_unique<IndexedSet>();
-      EdgeId f;
-      while (ls >> f) edge_d_[e]->insert(f);
+      while (!lt.at_end()) {
+        uint64_t f = 0;
+        if (!cur.tok_id(lt, "D(e) member id", f, id_bound)) {
+          return failed();
+        }
+        if (id_state[f] != kIdAlive) {
+          cur.fail("D(e) member " + std::to_string(f) + " is not alive");
+          return failed();
+        }
+        if (!edge_d_[e]->insert(static_cast<EdgeId>(f))) {
+          cur.fail("duplicate member " + std::to_string(f) + " in D(e)");
+          return failed();
+        }
+      }
+      if (edge_d_[e]->empty()) {
+        cur.fail("D(e) line without member ids");
+        return failed();
+      }
     } else if (tag == "bd") {
-      EdgeId e;
-      ls >> e >> epoch_d_deleted_[e];
+      uint64_t e = 0, budget = 0;
+      if (!cur.tok_id(lt, "bd edge id", e, id_bound) ||
+          !cur.tok_u64(lt, "bd budget", budget, UINT32_MAX) ||
+          !cur.line_done(lt)) {
+        return failed();
+      }
+      if (budget == 0 || epoch_d_deleted_[e] != 0) {
+        cur.fail(budget == 0 ? "bd line with zero budget"
+                             : "duplicate bd line for edge " +
+                                   std::to_string(e));
+        return failed();
+      }
+      // Between batches a non-zero D-deletion budget exists only on a
+      // matched edge's live epoch (set_matched / set_unmatched zero it).
+      if (id_state[e] != kIdAlive || !(eflags_[e] & kMatched)) {
+        cur.fail("bd line for edge " + std::to_string(e) +
+                 " that is not an alive matched edge");
+        return failed();
+      }
+      epoch_d_deleted_[e] = static_cast<uint32_t>(budget);
     } else {
-      PDMM_ASSERT_MSG(false, "unknown snapshot line tag");
+      cur.fail("unknown snapshot line tag '" + tag + "'");
+      return failed();
+    }
+  }
+
+  if (!saw_end) {
+    cur.lineno = 0;
+    cur.fail("truncated snapshot: missing end trailer");
+    return failed();
+  }
+  if (!saw_nv) {
+    cur.lineno = 0;
+    cur.fail("truncated snapshot: missing nv line");
+    return failed();
+  }
+  if (!saw_free) {
+    cur.lineno = 0;
+    cur.fail("truncated snapshot: missing free-list line");
+    return failed();
+  }
+  for (uint64_t id = 0; id < id_bound; ++id) {
+    if (id_state[id] == kIdUnseen) {
+      cur.lineno = 0;
+      cur.fail("edge id " + std::to_string(id) +
+               " neither alive nor on the free list");
+      return failed();
     }
   }
 
   grow_vertices(reg_.vertex_bound());
+  if (SnapshotError verr = verify_loaded_state(num_alive); !verr.ok()) {
+    return verr;
+  }
+
   // Rebuild the derived S_l sets from the restored structures.
   for (Vertex v = 0; v < verts_.size(); ++v) {
     const VertexState& vs = verts_[v];
     if (!vs.owned.empty() || !vs.a_sets.empty()) refresh_s_membership(v);
   }
+  return {};
+}
+
+// Post-load verification: the declared counters and the pairwise pointer
+// structure must be consistent before the matcher is allowed to continue.
+// This is the loader-grade subset of MatchingChecker (which remains the
+// aborting test oracle): counts, cross-pointers and set membership — the
+// properties whose violation would make later batches corrupt memory or
+// silently diverge.
+SnapshotError DynamicMatcher::verify_loaded_state(size_t declared_alive) {
+  const auto fail = [](std::string msg) {
+    return SnapshotError{0, std::move(msg)};
+  };
+  const Level top = scheme_.top_level();
+
+  if (reg_.num_edges() != declared_alive) {
+    return fail("reg line declares " + std::to_string(declared_alive) +
+                " alive edges but the snapshot restored " +
+                std::to_string(reg_.num_edges()));
+  }
+
+  // Per-edge structure. Counts the owned / A(v,l) memberships every
+  // structured edge requires; equality with the per-vertex totals below
+  // proves there are no stray extra memberships either.
+  size_t matched_edges = 0, temp_deleted = 0;
+  size_t want_owned = 0, want_a_members = 0;
+  for (EdgeId e : reg_.all_edges()) {
+    const auto eps = reg_.endpoints(e);
+    const uint8_t flags = eflags_[e];
+    if (flags & kTempDeleted) {
+      ++temp_deleted;
+      const EdgeId resp = eresp_[e];
+      if (resp == kNoEdge || !reg_.alive(resp) ||
+          !(eflags_[resp] & kMatched)) {
+        return fail("temp-deleted edge " + std::to_string(e) +
+                    " has no alive matched responsible edge");
+      }
+      if (!edge_d_[resp] || !edge_d_[resp]->contains(e)) {
+        return fail("temp-deleted edge " + std::to_string(e) +
+                    " missing from D(" + std::to_string(resp) + ")");
+      }
+      continue;
+    }
+    const Level lvl = elevel_[e];
+    if (lvl < 0 || lvl > top) {
+      return fail("structured edge " + std::to_string(e) +
+                  " has level outside [0, L]");
+    }
+    const Vertex owner = eowner_[e];
+    if (std::find(eps.begin(), eps.end(), owner) == eps.end()) {
+      return fail("owner of edge " + std::to_string(e) +
+                  " is not one of its endpoints");
+    }
+    if (!verts_[owner].owned.contains(e)) {
+      return fail("edge " + std::to_string(e) +
+                  " missing from its owner's owned set");
+    }
+    ++want_owned;
+    for (Vertex u : eps) {
+      if (u == owner) continue;
+      const IndexedSet* a = verts_[u].find_a(lvl);
+      if (!a || !a->contains(e)) {
+        return fail("edge " + std::to_string(e) +
+                    " missing from A(" + std::to_string(u) + ", " +
+                    std::to_string(lvl) + ")");
+      }
+      ++want_a_members;
+    }
+    if (flags & kMatched) {
+      ++matched_edges;
+      for (Vertex u : eps) {
+        if (verts_[u].matched != e || verts_[u].level != lvl) {
+          return fail("matched edge " + std::to_string(e) +
+                      " endpoint " + std::to_string(u) +
+                      " disagrees about the match");
+        }
+      }
+    }
+  }
+  if (matched_edges != matching_size_) {
+    return fail("matched-edge flags disagree with the matching size");
+  }
+
+  // Per-vertex structure, plus the membership totals.
+  size_t have_owned = 0, have_a_members = 0;
+  for (Vertex v = 0; v < verts_.size(); ++v) {
+    const VertexState& vs = verts_[v];
+    if ((vs.level == kUnmatchedLevel) != (vs.matched == kNoEdge)) {
+      return fail("vertex " + std::to_string(v) +
+                  " level -1 must coincide with being unmatched");
+    }
+    if (vs.matched != kNoEdge) {
+      if (!reg_.alive(vs.matched) || !(eflags_[vs.matched] & kMatched)) {
+        return fail("vertex " + std::to_string(v) +
+                    " matched to a non-matched edge");
+      }
+      const auto eps = reg_.endpoints(vs.matched);
+      if (std::find(eps.begin(), eps.end(), v) == eps.end()) {
+        return fail("vertex " + std::to_string(v) +
+                    " matched to an edge that does not contain it");
+      }
+    }
+    have_owned += vs.owned.size();
+    for (EdgeId e : vs.owned.items()) {
+      if ((eflags_[e] & kTempDeleted) || eowner_[e] != v ||
+          elevel_[e] != vs.level) {
+        return fail("owned set of vertex " + std::to_string(v) +
+                    " contains edge " + std::to_string(e) +
+                    " it does not own at its level");
+      }
+    }
+    for (const auto& ls : vs.a_sets) {
+      if (ls.level < std::max(vs.level, Level{0}) || ls.level > top) {
+        return fail("A(v,l) of vertex " + std::to_string(v) +
+                    " exists outside [max(l(v), 0), L]");
+      }
+      have_a_members += ls.set.size();
+      for (size_t i = 0; i < ls.set.size(); ++i) {
+        const EdgeId e = ls.set.at(i);
+        if ((eflags_[e] & kTempDeleted) || elevel_[e] != ls.level ||
+            eowner_[e] == v) {
+          return fail("A(" + std::to_string(v) + ", " +
+                      std::to_string(ls.level) + ") contains edge " +
+                      std::to_string(e) + " that does not belong there");
+        }
+      }
+    }
+  }
+  if (have_owned != want_owned || have_a_members != want_a_members) {
+    return fail("owned / A(v,l) sets contain entries no structured edge "
+                "accounts for");
+  }
+
+  // D(e) members point back; together with the per-temp-deleted-edge
+  // containment above, equal counts make D-membership a bijection.
+  size_t d_members = 0;
+  for (EdgeId e = 0; e < edge_d_.size(); ++e) {
+    const IndexedSet* d = edge_d_[e].get();
+    if (!d || d->empty()) continue;
+    if (!reg_.alive(e) || !(eflags_[e] & kMatched)) {
+      return fail("non-empty D(" + std::to_string(e) +
+                  ") requires a matched edge");
+    }
+    d_members += d->size();
+    for (size_t i = 0; i < d->size(); ++i) {
+      const EdgeId f = d->at(i);
+      if (!(eflags_[f] & kTempDeleted) || eresp_[f] != e) {
+        return fail("D(" + std::to_string(e) + ") member " +
+                    std::to_string(f) +
+                    " is not temp-deleted under this edge");
+      }
+    }
+  }
+  if (d_members != temp_deleted) {
+    return fail("temp-deleted edge count disagrees with the D(e) sets");
+  }
+  return {};
 }
 
 }  // namespace pdmm

@@ -1,0 +1,98 @@
+// Checkpoint: a versioned, per-section-checksummed container around the
+// matcher snapshot, plus atomic file placement.
+//
+// DynamicMatcher::save() produces a self-describing text snapshot, but a
+// bare snapshot file gives a recovering process nothing to validate the
+// bytes against (a torn write that happens to end after a complete line
+// still parses) and nothing to construct the matcher *from* (load()
+// requires a Config that matches the snapshot before it will read it).
+// The checkpoint container fixes both:
+//
+//   pdmm-checkpoint v1
+//   meta <nbytes> <crc32>
+//   <meta payload: one "key value" line per entry>
+//   snap <nbytes> <crc32>
+//   <snapshot payload: DynamicMatcher::save() bytes>
+//   end
+//
+// Sections are length-prefixed and CRC-32-checksummed, so truncation and
+// bit rot are detected before any payload byte reaches the snapshot
+// loader. The meta section carries the full Config plus the batch epoch,
+// so recovery tooling can construct a compatible matcher from the file
+// alone. File placement is atomic: write to "<path>.tmp", flush, then
+// rename over the final name — a crash mid-checkpoint leaves either the
+// previous complete file or a stray .tmp, never a half-written current
+// one. The series helpers name files "<prefix>.<epoch>" and keep the most
+// recent `keep`, so recovery can fall back to an older checkpoint when
+// the newest one is damaged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+
+namespace pdmm {
+
+class DynamicMatcher;
+
+namespace persist {
+
+struct CheckpointData {
+  std::map<std::string, std::string> meta;  // "epoch", "rank", "seed", ...
+  std::string snapshot;                     // DynamicMatcher::save() bytes
+
+  // meta["epoch"] parsed; 0 when absent/malformed.
+  uint64_t epoch() const;
+  // Reconstructs the Config the checkpointed matcher ran with. False when
+  // a required field is missing or malformed (check_invariants is not
+  // persisted; it stays at its default).
+  bool config(Config& out) const;
+};
+
+// Serializes matcher state + meta into `out`. False (with *error) when the
+// stream failed — the written bytes must then be discarded.
+bool write_checkpoint(std::ostream& out, const DynamicMatcher& m,
+                      std::string* error);
+
+// Parses and validates one checkpoint (section framing, lengths, CRCs).
+// On failure `out` is unspecified and *error names the problem.
+bool read_checkpoint(std::istream& in, CheckpointData& out,
+                     std::string* error);
+
+// Atomic file variants ("<path>.tmp" + rename). The default durability
+// tier matches the journal's: flushed, so complete once the process is
+// the only thing that died. With durable=true the tmp file is fsync'd
+// before the rename and the directory after it, extending atomicity to
+// OS crashes and power loss (pdmm_serve's --fsync selects this for both
+// journal records and checkpoints).
+bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
+                           std::string* error, bool durable = false);
+bool read_checkpoint_file(const std::string& path, CheckpointData& out,
+                          std::string* error);
+
+// Reads and CRC-validates only the meta section (out.snapshot stays
+// empty), stopping before the snapshot payload — for callers that need
+// the Config/epoch without paying for the dominant section twice
+// (pdmm_recover reads meta first to construct the matcher, then recover()
+// re-reads the file in full).
+bool read_checkpoint_meta_file(const std::string& path, CheckpointData& out,
+                               std::string* error);
+
+// Writes "<prefix>.<epoch>" atomically and prunes older series files so at
+// most `keep` remain. False on write failure (pruning best-effort).
+bool write_checkpoint_series(const std::string& prefix,
+                             const DynamicMatcher& m, size_t keep,
+                             std::string* error, bool durable = false);
+
+// All existing "<prefix>.<epoch>" files, newest epoch first. Files whose
+// suffix is not a plain decimal epoch are ignored (including .tmp strays).
+std::vector<std::pair<uint64_t, std::string>> list_checkpoints(
+    const std::string& prefix);
+
+}  // namespace persist
+}  // namespace pdmm

@@ -1,0 +1,278 @@
+#include "persist/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "persist/io_util.h"
+#include "util/crc32.h"
+#include "util/parse_num.h"
+#include "workload/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PDMM_HAVE_FSYNC 1
+#endif
+
+namespace pdmm::persist {
+
+namespace {
+
+using detail::read_exact;
+
+constexpr const char* kMagic = "pdmm-journal v1";
+constexpr uint64_t kMaxRecordBytes = uint64_t{1} << 32;
+
+// One journal record's bytes: header line + trace-encoded batch payload.
+// The CRC covers the payload; the header fields are validated by parsing
+// plus the epoch-contiguity rule. Note an inherent tail ambiguity no
+// header checksum could remove: for the FINAL record, a rotted byte and a
+// torn write are indistinguishable (both fail validation with nothing
+// after them), so the durability granularity at the tail is one record
+// either way — exactly the bound the flush-per-record model documents.
+std::string encode_record(uint64_t epoch, const Batch& b) {
+  std::ostringstream payload;
+  write_batch(payload, b);
+  std::string body = std::move(payload).str();
+  std::ostringstream rec;
+  rec << "rec " << epoch << ' ' << body.size() << ' ' << crc32(body) << '\n'
+      << body;
+  return std::move(rec).str();
+}
+
+}  // namespace
+
+JournalScan scan_journal(const std::string& path, bool keep_records,
+                         uint64_t keep_after) {
+  JournalScan out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      out.ok = true;  // nothing journaled yet
+      return out;
+    }
+    out.error = "cannot open " + path;
+    return out;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    // Zero-length file: treat like a missing one (open() writes the
+    // header on its first append position).
+    out.ok = true;
+    return out;
+  }
+  const bool header_unterminated = in.eof();  // getline stopped at EOF
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kMagic) {
+    out.error = path + ": unrecognized journal header";
+    return out;
+  }
+  if (header_unterminated) {
+    // The header bytes are right but the newline never hit the disk: a
+    // torn header write. tellg() on an eof stream would return -1, so do
+    // not trust it — treat the whole file as torn tail (valid_bytes 0),
+    // which reopen-for-append truncates and rewrites from scratch.
+    out.ok = true;
+    out.truncated_tail = true;
+    out.tail_error = path + ": journal header missing its newline";
+    return out;
+  }
+  out.ok = true;
+  out.valid_bytes = static_cast<uint64_t>(in.tellg());
+
+  // Distinguishes a crash tail from mid-file rot: after the first invalid
+  // record, an intact record further on means durable data lies BEYOND
+  // the damage — truncating there would destroy it, so the file must be
+  // refused instead. A genuine crash tear is a prefix of one in-flight
+  // record (appends are sequential, flushed per record) and can never be
+  // followed by valid bytes; record payloads are trace op lines, so a
+  // torn payload cannot itself spell a CRC-valid "rec" line.
+  const auto intact_record_follows = [&]() {
+    std::string rline, rpayload;
+    while (std::getline(in, rline)) {
+      if (!rline.empty() && rline.back() == '\r') rline.pop_back();
+      std::istringstream hs(rline);
+      std::string tag, epoch_tok, len_tok, crc_tok;
+      if (!(hs >> tag >> epoch_tok >> len_tok >> crc_tok) || tag != "rec" ||
+          (hs >> std::ws, !hs.eof())) {
+        continue;
+      }
+      uint64_t epoch = 0, len = 0, want_crc = 0;
+      if (parse_u64_strict(epoch_tok, epoch) != ParseNum::kOk ||
+          parse_u64_strict(len_tok, len) != ParseNum::kOk ||
+          parse_u64_strict(crc_tok, want_crc) != ParseNum::kOk ||
+          want_crc > UINT32_MAX || len > kMaxRecordBytes) {
+        continue;
+      }
+      const auto pos = in.tellg();
+      if (read_exact(in, len, rpayload) &&
+          crc32(rpayload) == static_cast<uint32_t>(want_crc)) {
+        return true;
+      }
+      in.clear();
+      in.seekg(pos);
+    }
+    return false;
+  };
+  // `probe_from` is the offset just past the suspect record's header
+  // line: the resync probe must start there, not wherever the failed
+  // read left the stream — a rotted length field can consume every byte
+  // to EOF (or overshoot into later records) before failing, which would
+  // otherwise blind the probe to the intact records after the damage.
+  const auto tail_fail = [&](std::string why, std::streampos probe_from) {
+    bool midfile = false;
+    if (probe_from != std::streampos(-1)) {
+      in.clear();  // the failed read may have set eof/failbit
+      in.seekg(probe_from);
+      midfile = in.good() && intact_record_follows();
+    }
+    if (midfile) {
+      out.ok = false;
+      out.error = path + ": corrupt record mid-file with intact records "
+                  "after it (" + why + "); refusing to truncate past "
+                  "durable data";
+      return;
+    }
+    out.truncated_tail = true;
+    out.tail_error = std::move(why);
+  };
+  std::string payload;
+  while (std::getline(in, line)) {
+    // Offset just past this header line (-1 when the line ended at EOF
+    // without a newline — nothing can follow it).
+    const std::streampos probe_from =
+        in.good() ? in.tellg() : std::streampos(-1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream hs(line);
+    std::string tag, epoch_tok, len_tok, crc_tok;
+    if (!(hs >> tag >> epoch_tok >> len_tok >> crc_tok) || tag != "rec" ||
+        (hs >> std::ws, !hs.eof())) {
+      tail_fail("malformed record header '" + line + "'", probe_from);
+      return out;
+    }
+    uint64_t epoch = 0, len = 0, want_crc = 0;
+    if (parse_u64_strict(epoch_tok, epoch) != ParseNum::kOk ||
+        parse_u64_strict(len_tok, len) != ParseNum::kOk ||
+        parse_u64_strict(crc_tok, want_crc) != ParseNum::kOk ||
+        want_crc > UINT32_MAX || len > kMaxRecordBytes) {
+      tail_fail("malformed record header '" + line + "'", probe_from);
+      return out;
+    }
+    if (!read_exact(in, len, payload)) {
+      tail_fail("record payload truncated (epoch " + epoch_tok + ")", probe_from);
+      return out;
+    }
+    if (crc32(payload) != static_cast<uint32_t>(want_crc)) {
+      tail_fail("record checksum mismatch (epoch " + epoch_tok + ")", probe_from);
+      return out;
+    }
+    std::istringstream ps(payload);
+    std::vector<Batch> batches;
+    std::string perr;
+    if (!read_trace(ps, batches, &perr) || batches.size() != 1) {
+      tail_fail("record payload does not parse as one batch (epoch " +
+                    epoch_tok + "): " + perr,
+                probe_from);
+      return out;
+    }
+    if (epoch == 0 ||
+        (out.record_count != 0 && epoch != out.last_epoch + 1)) {
+      // A gap or regression is not a torn tail — it means records are
+      // missing from the durable prefix itself. Refuse the whole file.
+      out.ok = false;
+      out.error = path + ": record epochs not contiguous (saw " +
+                  epoch_tok + " after " + std::to_string(out.last_epoch) +
+                  ")";
+      return out;
+    }
+    if (keep_records && epoch > keep_after) {
+      out.records.push_back({epoch, std::move(batches.front())});
+    }
+    ++out.record_count;
+    out.last_epoch = epoch;
+    out.valid_bytes = static_cast<uint64_t>(in.tellg());
+  }
+  return out;
+}
+
+std::unique_ptr<Journal> Journal::open(const std::string& path, Options opt,
+                                       std::string* error) {
+  return open_scanned(path, opt, scan_journal(path, /*keep_records=*/false),
+                      error);
+}
+
+std::unique_ptr<Journal> Journal::open_scanned(const std::string& path,
+                                               Options opt,
+                                               const JournalScan& scan,
+                                               std::string* error) {
+  if (!scan.ok) {
+    if (error) *error = scan.error;
+    return nullptr;
+  }
+  const bool fresh = scan.valid_bytes == 0;
+  if (scan.truncated_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, scan.valid_bytes, ec);
+    if (ec) {
+      if (error) {
+        *error = "cannot truncate torn tail of " + path + ": " +
+                 ec.message();
+      }
+      return nullptr;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (!f) {
+    if (error) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  if (fresh) {
+    if (std::fputs(kMagic, f) == EOF || std::fputc('\n', f) == EOF ||
+        std::fflush(f) != 0) {
+      if (error) *error = "cannot write journal header to " + path;
+      std::fclose(f);
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<Journal>(
+      new Journal(f, scan.last_epoch, scan.truncated_tail, opt));
+}
+
+Journal::~Journal() {
+  if (f_) std::fclose(f_);
+}
+
+bool Journal::append(uint64_t epoch, const Batch& b, std::string* error) {
+  if (epoch == 0 || (last_epoch_ != 0 && epoch != last_epoch_ + 1)) {
+    if (error) {
+      *error = "journal epoch " + std::to_string(epoch) +
+               " does not follow " + std::to_string(last_epoch_);
+    }
+    return false;
+  }
+  const std::string rec = encode_record(epoch, b);
+  if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size() ||
+      std::fflush(f_) != 0) {
+    if (error) {
+      *error = std::string("journal append failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+#ifdef PDMM_HAVE_FSYNC
+  if (opt_.fsync_each && ::fsync(fileno(f_)) != 0) {
+    if (error) {
+      *error = std::string("journal fsync failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+#endif
+  last_epoch_ = epoch;
+  ++appended_;
+  return true;
+}
+
+}  // namespace pdmm::persist

@@ -1,0 +1,121 @@
+// Journal: an append-only, checksummed write-ahead log of update batches.
+//
+// One record per `update()` batch, appended after the batch committed in
+// memory and flushed before the next batch begins, so after a crash the
+// log holds every durable batch and at most one torn tail:
+//
+//   pdmm-journal v1
+//   rec <epoch> <nbytes> <crc32>
+//   <payload: the batch in trace op encoding (write_batch), nbytes bytes>
+//   rec ...
+//
+// The payload reuses the trace format of src/workload/trace.* verbatim
+// (d/i op lines + the `b` boundary), so a journal replays through the
+// same strict parser that validates traces, and `tail -c` + read_trace
+// can inspect one by hand. Epochs are the matcher's batch counter and
+// must increase by exactly 1 from record to record — a gap means records
+// were lost and recovery must refuse to bridge it.
+//
+// Torn-write handling: scan() walks records front to back, validating
+// framing, length, CRC and payload parse, and stops at the first record
+// that fails — everything before it is durable, everything after is the
+// torn tail a crash left behind (at most one in-flight record, because
+// appends are sequential and flushed per record). Journal::open() runs
+// that scan and truncates the file back to the last durable byte before
+// appending, so a recovered server continues the same log seamlessly.
+// Mid-file rot is NOT a torn tail: when an intact record exists beyond
+// the damaged one, truncation would destroy durable data, so the scan
+// refuses the whole file (ok = false) exactly like an epoch gap.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace pdmm::persist {
+
+struct JournalRecord {
+  uint64_t epoch = 0;
+  Batch batch;
+};
+
+// Result of scanning a journal file.
+struct JournalScan {
+  bool ok = false;          // header readable and valid
+  std::string error;        // why ok is false
+  std::vector<JournalRecord> records;  // the durable prefix (when retained)
+  size_t record_count = 0;   // durable records validated
+  uint64_t last_epoch = 0;   // epoch of the last durable record (0: none)
+  uint64_t valid_bytes = 0;  // file offset just past the last durable record
+  bool truncated_tail = false;  // bytes past valid_bytes failed validation
+  std::string tail_error;       // what the first invalid record looked like
+};
+
+// Scans `path` (missing file: ok with zero records, so first-boot and
+// recovery share one call). Every record is always fully validated
+// (framing, CRC, payload parse, epoch order); retention is separate:
+// keep_records=false stores nothing (O(1) memory — Journal::open on a
+// long log only needs the durable frontier), and keep_after drops records
+// with epoch <= keep_after (recovery retains only the tail past its
+// checkpoint instead of the whole history). record_count / last_epoch
+// always describe the full durable prefix, retained or not.
+JournalScan scan_journal(const std::string& path, bool keep_records = true,
+                         uint64_t keep_after = 0);
+
+// Append handle. Opening scans existing content, truncates a torn tail,
+// and positions at the end; a fresh/empty file gets the header.
+class Journal {
+ public:
+  struct Options {
+    // fsync after every record (FULL durability against OS crashes) vs
+    // flush-only (durable against process death, the common case).
+    bool fsync_each = false;
+  };
+
+  // nullptr + *error when the file exists but is not a valid journal (we
+  // refuse to truncate-and-clobber a file we do not recognize).
+  static std::unique_ptr<Journal> open(const std::string& path, Options opt,
+                                       std::string* error);
+  // Open against an already-performed scan of the same unmodified file
+  // (recovery just read the whole journal; re-scanning a multi-GB log
+  // back-to-back would double restart latency). The caller vouches that
+  // `scan` describes `path` as it is on disk right now.
+  static std::unique_ptr<Journal> open_scanned(const std::string& path,
+                                               Options opt,
+                                               const JournalScan& scan,
+                                               std::string* error);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Appends one record and flushes. `epoch` must be last_epoch() + 1 (or
+  // anything > 0 for the first record of a fresh log). False (with
+  // *error) on ordering violations and I/O failures; after an I/O failure
+  // the journal must be considered broken and no further appends made.
+  bool append(uint64_t epoch, const Batch& b, std::string* error);
+
+  uint64_t last_epoch() const { return last_epoch_; }
+  uint64_t records_appended() const { return appended_; }
+  bool tail_was_truncated() const { return tail_truncated_; }
+
+ private:
+  Journal(std::FILE* f, uint64_t last_epoch, bool tail_truncated,
+          Options opt)
+      : f_(f),
+        last_epoch_(last_epoch),
+        tail_truncated_(tail_truncated),
+        opt_(opt) {}
+
+  std::FILE* f_;
+  uint64_t last_epoch_;
+  uint64_t appended_ = 0;
+  bool tail_truncated_;
+  Options opt_;
+};
+
+}  // namespace pdmm::persist

@@ -1,0 +1,207 @@
+#include "persist/recovery.h"
+
+#include <sstream>
+
+#include "core/matcher.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+
+namespace pdmm::persist {
+
+RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
+  RecoveryReport rep;
+  if (opt.checkpoint_prefix.empty() && opt.journal_path.empty()) {
+    rep.error = "nothing to recover from (no checkpoint prefix, no journal)";
+    return rep;
+  }
+
+  // 1. Newest checkpoint that validates end-to-end (container checksums
+  // AND the snapshot loader's own verification).
+  std::string last_error;
+  if (!opt.checkpoint_prefix.empty()) {
+    for (const auto& [epoch, path] : list_checkpoints(opt.checkpoint_prefix)) {
+      CheckpointData ck;
+      std::string err;
+      if (!read_checkpoint_file(path, ck, &err)) {
+        ++rep.skipped_checkpoints;
+        last_error = err;
+        continue;
+      }
+      // A CRC-valid checkpoint whose recorded Config disagrees with the
+      // matcher's is operator error (restarted with different flags), not
+      // damage: falling back to a journal-only replay under the wrong
+      // Config would "succeed" into a diverged lineage. Hard stop.
+      Config ck_cfg;
+      if (ck.config(ck_cfg)) {
+        const Config& mc = m.config();
+        if (ck_cfg.max_rank != mc.max_rank || ck_cfg.seed != mc.seed ||
+            ck_cfg.settle_after_insertions != mc.settle_after_insertions ||
+            ck_cfg.subsettle_iter_factor != mc.subsettle_iter_factor ||
+            ck_cfg.max_settle_repeats != mc.max_settle_repeats ||
+            ck_cfg.max_eager_sweeps != mc.max_eager_sweeps ||
+            ck_cfg.auto_rebuild != mc.auto_rebuild) {
+          rep.error = path +
+                      ": checkpoint was written under a different Config "
+                      "(rank/seed/settle parameters); construct the "
+                      "matcher with the original flags";
+          return rep;
+        }
+      }
+      if (ck.epoch() != epoch) {  // renamed/copied under the wrong epoch
+        ++rep.skipped_checkpoints;
+        last_error = path + ": checkpoint epoch disagrees with its filename";
+        continue;
+      }
+      std::istringstream snap(ck.snapshot);
+      if (SnapshotError serr = m.load(snap); !serr.ok()) {
+        ++rep.skipped_checkpoints;
+        last_error = path + ": " + serr.to_string();
+        continue;
+      }
+      if (m.batch_epoch() != ck.epoch()) {
+        // Meta and snapshot disagree: reject the checkpoint — and discard
+        // the state it already loaded into m, or the fallback path below
+        // would replay the journal on top of it.
+        m.reset_to_empty();
+        ++rep.skipped_checkpoints;
+        last_error = path + ": checkpoint epoch disagrees with its snapshot";
+        continue;
+      }
+      rep.checkpoint_path = path;
+      rep.checkpoint_epoch = epoch;
+      break;
+    }
+    if (rep.checkpoint_path.empty() && opt.journal_path.empty()) {
+      rep.error = rep.skipped_checkpoints
+                      ? "no valid checkpoint (" + last_error + ")"
+                      : "no checkpoint files found under prefix " +
+                            opt.checkpoint_prefix;
+      return rep;
+    }
+  }
+
+  // 2. + 3. Journal tail replay. Without a checkpoint the matcher is
+  // empty (epoch 0) and the journal must start at epoch 1. Records at or
+  // below the checkpoint epoch are validated but never retained, so with
+  // a checkpoint recovery memory is O(tail past it); journal-only
+  // recovery necessarily materializes the whole log before replaying
+  // (streaming replay during the scan is a possible future refinement).
+  if (!opt.journal_path.empty()) {
+    const uint64_t base = rep.checkpoint_epoch;
+    const JournalScan scan =
+        scan_journal(opt.journal_path, /*keep_records=*/true,
+                     /*keep_after=*/base);
+    if (!scan.ok) {
+      rep.error = scan.error;
+      return rep;
+    }
+    rep.journal_tail_truncated = scan.truncated_tail;
+    rep.journal_scanned = true;
+    rep.journal_valid_bytes = scan.valid_bytes;
+    rep.journal_last_epoch = scan.last_epoch;
+    if (rep.checkpoint_path.empty() && rep.skipped_checkpoints > 0 &&
+        scan.record_count == 0) {
+      // Every checkpoint is damaged and the journal holds nothing: an
+      // empty matcher is NOT the durable state, it is data loss.
+      rep.error = "all checkpoints damaged (" + last_error +
+                  ") and the journal holds no records to rebuild from";
+      return rep;
+    }
+    if (scan.record_count != 0) {
+      // Records are contiguous (scan enforces it), so the journal's first
+      // epoch is derivable from the retained-independent counters.
+      const uint64_t first = scan.last_epoch - scan.record_count + 1;
+      if (first > base + 1) {
+        rep.error = "journal starts at epoch " + std::to_string(first) +
+                    " but the checkpoint only reaches " +
+                    std::to_string(base) + " (records lost)";
+        return rep;
+      }
+      if (scan.last_epoch < base) {
+        // A checkpoint is written only after its covering journal record
+        // flushed, so within the process-kill durability model the
+        // journal always reaches at least the checkpoint epoch. A
+        // checkpoint AHEAD of a non-empty journal therefore means either
+        // an OS crash beyond the flush-only tier or, worse, a stale
+        // checkpoint series next to a newer run's journal — silently
+        // preferring the checkpoint would discard the journal's durable
+        // batches. Refuse and let the operator pick a side.
+        rep.error = "journal ends at epoch " +
+                    std::to_string(scan.last_epoch) +
+                    " but the checkpoint claims epoch " +
+                    std::to_string(base) +
+                    "; not the same run's lineage (a process kill cannot "
+                    "produce this). Delete the stale checkpoints to keep "
+                    "the journal's state, or delete the journal to accept "
+                    "the checkpoint's";
+        return rep;
+      }
+      if (scan.last_epoch > base) {
+        for (const JournalRecord& rec : scan.records) {
+          // A record that does not apply to this state (deleting an edge
+          // the matcher does not have, inserting past its rank) means the
+          // journal belongs to a different run than the checkpoint;
+          // update() would assert on it, so reject it here instead. The
+          // guards stop at what would abort: an insertion duplicating a
+          // present edge is NOT treated as mismatch evidence, because it
+          // is well-defined batch semantics (update() skips it
+          // deterministically) that a legitimate run's journal may
+          // contain — rejecting it would refuse valid logs.
+          for (const auto& eps : rec.batch.deletions) {
+            // Bound the rank before find_edge — the registry lookup
+            // itself asserts on an over-rank endpoint list.
+            if (eps.empty() || eps.size() > m.config().max_rank ||
+                m.find_edge(eps) == kNoEdge) {
+              rep.error = "journal record " + std::to_string(rec.epoch) +
+                          " deletes an edge this state does not contain "
+                          "(journal does not match the checkpoint)";
+              return rep;
+            }
+          }
+          for (const auto& eps : rec.batch.insertions) {
+            if (eps.empty() || eps.size() > m.config().max_rank) {
+              rep.error = "journal record " + std::to_string(rec.epoch) +
+                          " inserts an edge outside this matcher's rank";
+              return rep;
+            }
+          }
+          m.update_by_endpoints(rec.batch.deletions, rec.batch.insertions);
+          if (m.batch_epoch() != rec.epoch) {
+            rep.error = "replay diverged: matcher reached epoch " +
+                        std::to_string(m.batch_epoch()) +
+                        " applying journal record " +
+                        std::to_string(rec.epoch);
+            return rep;
+          }
+          ++rep.replayed_batches;
+        }
+      }
+    }
+    // Journal-only recovery of an empty/fresh journal is fine: an empty
+    // matcher at epoch 0 is the correct durable state.
+  }
+
+  rep.final_epoch = m.batch_epoch();
+  rep.ok = true;
+  return rep;
+}
+
+std::unique_ptr<Journal> open_journal_after_recovery(
+    const std::string& path, Journal::Options opt,
+    const RecoveryReport& report, std::string* error) {
+  if (report.journal_scanned) {
+    // Recovery already validated the whole log; reuse its durable
+    // frontier instead of paying a second full scan. recover() has
+    // already refused every journal/checkpoint shape whose append would
+    // not continue contiguously from the recovered epoch.
+    JournalScan scan;
+    scan.ok = true;
+    scan.valid_bytes = report.journal_valid_bytes;
+    scan.last_epoch = report.journal_last_epoch;
+    scan.truncated_tail = report.journal_tail_truncated;
+    return Journal::open_scanned(path, opt, scan, error);
+  }
+  return Journal::open(path, opt, error);
+}
+
+}  // namespace pdmm::persist

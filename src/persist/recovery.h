@@ -1,0 +1,72 @@
+// Recovery: reconstructs a matcher after a crash or restart from the
+// newest valid checkpoint plus the journal tail.
+//
+// The procedure (see docs/ARCHITECTURE.md "Durability & recovery"):
+//   1. Walk "<prefix>.<epoch>" checkpoints newest-first; load the first
+//      one whose sections checksum AND whose snapshot passes the
+//      validating loader. Damaged checkpoints are skipped, not fatal —
+//      an older checkpoint plus a longer journal replay reaches the same
+//      state because replay is deterministic.
+//   2. Scan the journal; drop the torn tail; verify the durable records
+//      connect contiguously to the checkpoint epoch.
+//   3. Replay every record with epoch > checkpoint epoch through
+//      update_by_endpoints(), verifying the matcher's batch counter
+//      tracks the record epochs.
+//
+// The caller constructs the matcher with the Config the crashed process
+// used (pdmm_recover reads it from the checkpoint meta; pdmm_serve
+// rebuilds it from its own flags) — load() re-verifies rank and seed, so
+// a mismatched matcher is an error, never silent divergence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "persist/journal.h"
+
+namespace pdmm {
+
+class DynamicMatcher;
+
+namespace persist {
+
+struct RecoveryOptions {
+  std::string checkpoint_prefix;  // empty: journal-only (replay from empty)
+  std::string journal_path;       // empty: checkpoint-only
+};
+
+struct RecoveryReport {
+  bool ok = false;
+  std::string error;
+  std::string checkpoint_path;    // empty: started from an empty matcher
+  uint64_t checkpoint_epoch = 0;
+  uint64_t final_epoch = 0;
+  size_t replayed_batches = 0;
+  size_t skipped_checkpoints = 0;  // damaged/mismatched ones passed over
+  bool journal_tail_truncated = false;
+  // Durable-frontier facts from the journal scan, so a caller that wants
+  // to keep appending can Journal::open_scanned() without re-reading the
+  // whole log (meaningful only when journal_scanned).
+  bool journal_scanned = false;
+  uint64_t journal_valid_bytes = 0;
+  uint64_t journal_last_epoch = 0;
+};
+
+// Restores `m` (which must be freshly constructed with the original
+// Config) to the last durable epoch. On failure the report's error says
+// why and the matcher state is unspecified (possibly mid-replay) — a
+// caller that wants to retry must construct a fresh matcher.
+RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt);
+
+// Opens the journal for append at the frontier a successful recovery
+// established, reusing the report's scan facts (no second full read of
+// the log). recover() refuses shapes the append could not continue from
+// (a checkpoint ahead of a non-empty journal, epoch gaps), so the handle
+// this returns always appends contiguously at report.final_epoch + 1.
+std::unique_ptr<Journal> open_journal_after_recovery(
+    const std::string& path, Journal::Options opt,
+    const RecoveryReport& report, std::string* error);
+
+}  // namespace persist
+}  // namespace pdmm

@@ -34,6 +34,23 @@ inline ParseNum parse_u64_strict(const std::string& s, uint64_t& out) {
   return ParseNum::kOk;
 }
 
+// Plain decimal signed integer: an optional leading '-', no whitespace, no
+// '+', no trailing characters (the snapshot loader parses levels, which
+// can legitimately be -1, with this).
+inline ParseNum parse_i64_strict(const std::string& s, int64_t& out) {
+  if (s.empty() || s[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(s[0]))) {
+    return ParseNum::kMalformed;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return ParseNum::kMalformed;
+  if (errno == ERANGE) return ParseNum::kOutOfRange;
+  out = v;
+  return ParseNum::kOk;
+}
+
 // Floating-point number: signs and exponents allowed (everything strtod
 // accepts), but no leading whitespace and no trailing characters.
 inline ParseNum parse_f64_strict(const std::string& s, double& out) {

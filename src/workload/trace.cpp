@@ -10,21 +10,23 @@
 
 namespace pdmm {
 
+void write_batch(std::ostream& out, const Batch& b) {
+  for (const auto& eps : b.deletions) {
+    out << 'd';
+    for (Vertex v : eps) out << ' ' << v;
+    out << '\n';
+  }
+  for (const auto& eps : b.insertions) {
+    out << 'i';
+    for (Vertex v : eps) out << ' ' << v;
+    out << '\n';
+  }
+  out << "b\n";
+}
+
 void write_trace(std::ostream& out, const std::vector<Batch>& batches) {
   out << "# pdmm update trace: " << batches.size() << " batches\n";
-  for (const Batch& b : batches) {
-    for (const auto& eps : b.deletions) {
-      out << 'd';
-      for (Vertex v : eps) out << ' ' << v;
-      out << '\n';
-    }
-    for (const auto& eps : b.insertions) {
-      out << 'i';
-      for (Vertex v : eps) out << ' ' << v;
-      out << '\n';
-    }
-    out << "b\n";
-  }
+  for (const Batch& b : batches) write_batch(out, b);
 }
 
 namespace {

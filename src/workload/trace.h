@@ -22,6 +22,13 @@ namespace pdmm {
 // Serializes batches into `out`. Inverse of read_trace.
 void write_trace(std::ostream& out, const std::vector<Batch>& batches);
 
+// Serializes one batch: its d/i op lines followed by the `b` boundary.
+// write_trace is a header comment plus one write_batch per batch; the
+// persistence journal (src/persist/journal.h) embeds exactly one
+// write_batch as each record's payload, so journals replay with the same
+// parser (read_trace) that validates traces.
+void write_batch(std::ostream& out, const Batch& b);
+
 // Parses a trace into `out` (replacing its contents). Malformed input —
 // unknown op, op without endpoints, non-numeric or out-of-range endpoint,
 // duplicate endpoint within an op, trailing tokens after a batch

@@ -1,0 +1,768 @@
+// Persistence subsystem tests: checkpoint container integrity, journal
+// torn-tail handling, and end-to-end crash recovery. The crash model is
+// byte-level: a run's durable files are cut at arbitrary offsets (what a
+// SIGKILL or power loss leaves behind) and recovery must reconstruct
+// exactly the state of an uninterrupted run at the last durable epoch —
+// verified byte-for-byte against reference snapshots recorded per epoch.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/checker.h"
+#include "core/matcher.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+#include "persist/recovery.h"
+#include "util/crc32.h"
+#include "workload/generators.h"
+
+namespace pdmm {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::CheckpointData;
+using persist::Journal;
+using persist::JournalScan;
+using persist::RecoveryOptions;
+using persist::RecoveryReport;
+
+Config persist_config() {
+  Config cfg;
+  cfg.max_rank = 2;
+  cfg.seed = 909;
+  cfg.initial_capacity = 1 << 14;
+  return cfg;
+}
+
+std::string save_str(const DynamicMatcher& m) {
+  std::ostringstream out;
+  EXPECT_TRUE(m.save(out));
+  return std::move(out).str();
+}
+
+std::string file_str(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class PersistTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pdmm_test_persist." + std::to_string(::getpid()) + "." +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+// Drives `batches` churn batches, returning the endpoint batches and the
+// reference snapshot after every epoch (reference[e] = state at epoch e,
+// reference[0] = empty).
+struct RefRun {
+  std::vector<Batch> batches;
+  std::vector<std::string> reference;
+};
+
+RefRun drive_reference(const Config& cfg, ThreadPool& pool, size_t batches) {
+  RefRun run;
+  ChurnStream::Options so;
+  so.n = 220;
+  so.target_edges = 500;
+  so.zipf_s = 0.6;
+  so.seed = 77;
+  ChurnStream stream(so);
+  DynamicMatcher m(cfg, pool);
+  run.reference.push_back(save_str(m));
+  for (size_t i = 0; i < batches; ++i) {
+    run.batches.push_back(stream.next(24));
+    const Batch& b = run.batches.back();
+    m.update_by_endpoints(b.deletions, b.insertions);
+    run.reference.push_back(save_str(m));
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint container
+// ---------------------------------------------------------------------------
+
+TEST_F(PersistTest, CheckpointRoundTrips) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 20);
+  DynamicMatcher m(cfg, pool);
+  for (const Batch& b : run.batches) {
+    m.update_by_endpoints(b.deletions, b.insertions);
+  }
+
+  std::ostringstream out;
+  std::string err;
+  ASSERT_TRUE(persist::write_checkpoint(out, m, &err)) << err;
+  const std::string bytes = std::move(out).str();
+
+  CheckpointData ck;
+  std::istringstream in(bytes);
+  ASSERT_TRUE(persist::read_checkpoint(in, ck, &err)) << err;
+  EXPECT_EQ(ck.epoch(), 20u);
+  EXPECT_EQ(ck.meta.at("matching"),
+            std::to_string(m.matching_size()));
+  Config from_meta;
+  ASSERT_TRUE(ck.config(from_meta));
+  EXPECT_EQ(from_meta.max_rank, cfg.max_rank);
+  EXPECT_EQ(from_meta.seed, cfg.seed);
+  EXPECT_EQ(from_meta.initial_capacity, cfg.initial_capacity);
+
+  DynamicMatcher fresh(cfg, pool);
+  std::istringstream snap(ck.snapshot);
+  const SnapshotError serr = fresh.load(snap);
+  ASSERT_TRUE(serr.ok()) << serr.to_string();
+  MatchingChecker::check(fresh);
+  EXPECT_EQ(save_str(fresh), run.reference.back());
+
+  // Meta-only read: same meta, snapshot left unread.
+  write_file(path("ck.file"), bytes);
+  CheckpointData meta_only;
+  ASSERT_TRUE(
+      persist::read_checkpoint_meta_file(path("ck.file"), meta_only, &err))
+      << err;
+  EXPECT_EQ(meta_only.meta, ck.meta);
+  EXPECT_TRUE(meta_only.snapshot.empty());
+}
+
+TEST_F(PersistTest, CheckpointWriteFailureIsReported) {
+  ThreadPool pool(1);
+  DynamicMatcher m(persist_config(), pool);
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  std::string err;
+  EXPECT_FALSE(persist::write_checkpoint(out, m, &err));
+  EXPECT_FALSE(err.empty());
+  // Unwritable file path: the atomic writer reports instead of leaving a
+  // half-written checkpoint behind.
+  EXPECT_FALSE(persist::write_checkpoint_file(
+      (dir_ / "no_such_dir" / "ck").string(), m, &err));
+}
+
+TEST_F(PersistTest, CheckpointRejectsCorruptionAndTruncation) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  DynamicMatcher m(cfg, pool);
+  const RefRun run = drive_reference(cfg, pool, 10);
+  for (const Batch& b : run.batches) {
+    m.update_by_endpoints(b.deletions, b.insertions);
+  }
+  std::ostringstream out;
+  std::string err;
+  ASSERT_TRUE(persist::write_checkpoint(out, m, &err)) << err;
+  const std::string bytes = std::move(out).str();
+
+  // Truncation at a spread of offsets.
+  for (size_t cut = 0; cut + 1 < bytes.size(); cut += 53) {
+    CheckpointData ck;
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(persist::read_checkpoint(in, ck, &err))
+        << "accepted a checkpoint cut at byte " << cut;
+  }
+  // Single-byte corruption in both sections (the CRC must catch payload
+  // damage that still parses as text).
+  for (size_t flip = 0; flip < bytes.size(); flip += 101) {
+    std::string mutant = bytes;
+    mutant[flip] ^= 0x20;
+    CheckpointData ck;
+    std::istringstream in(mutant);
+    if (persist::read_checkpoint(in, ck, &err)) {
+      // The flip landed in a spot the container does not cover (only the
+      // magic line is uncovered); the snapshot payload must be intact.
+      EXPECT_EQ(ck.snapshot, save_str(m));
+    }
+  }
+}
+
+TEST_F(PersistTest, CheckpointSeriesKeepsNewestAndPrunes) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 12);
+  DynamicMatcher m(cfg, pool);
+  std::string err;
+  const std::string prefix = path("ck");
+  for (size_t i = 0; i < run.batches.size(); ++i) {
+    const Batch& b = run.batches[i];
+    m.update_by_endpoints(b.deletions, b.insertions);
+    if ((i + 1) % 4 == 0) {
+      ASSERT_TRUE(persist::write_checkpoint_series(prefix, m, 2, &err))
+          << err;
+    }
+  }
+  const auto all = persist::list_checkpoints(prefix);
+  ASSERT_EQ(all.size(), 2u);  // pruned to keep=2
+  EXPECT_EQ(all[0].first, 12u);
+  EXPECT_EQ(all[1].first, 8u);
+  CheckpointData ck;
+  ASSERT_TRUE(persist::read_checkpoint_file(all[0].second, ck, &err)) << err;
+  EXPECT_EQ(ck.epoch(), 12u);
+  EXPECT_EQ(ck.snapshot, run.reference[12]);
+
+  // Stray files claiming a newer epoch (leftovers of a superseded run
+  // that restarted without --recover) must be removed, NOT treated as
+  // the series head — otherwise the keep-N prune deletes the fresh
+  // checkpoints and recovery would restore the stale state.
+  write_file(path("ck.999"), "stale bytes from another run");
+  ASSERT_TRUE(persist::write_checkpoint_series(prefix, m, 2, &err)) << err;
+  const auto after = persist::list_checkpoints(prefix);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].first, 12u);
+  EXPECT_EQ(after[1].first, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+TEST_F(PersistTest, JournalRoundTripsAndEnforcesEpochOrder) {
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 8);
+  const std::string jpath = path("wal");
+  std::string err;
+  {
+    auto j = Journal::open(jpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < run.batches.size(); ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+    // Skipping an epoch is refused.
+    EXPECT_FALSE(j->append(run.batches.size() + 5, run.batches[0], &err));
+    EXPECT_FALSE(j->append(run.batches.size(), run.batches[0], &err));
+  }
+  const JournalScan scan = persist::scan_journal(jpath);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_FALSE(scan.truncated_tail);
+  ASSERT_EQ(scan.records.size(), run.batches.size());
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    EXPECT_EQ(scan.records[i].epoch, i + 1);
+    EXPECT_EQ(scan.records[i].batch.deletions, run.batches[i].deletions);
+    EXPECT_EQ(scan.records[i].batch.insertions, run.batches[i].insertions);
+  }
+  // Reopen appends after the existing tail.
+  auto j = Journal::open(jpath, {}, &err);
+  ASSERT_NE(j, nullptr) << err;
+  EXPECT_EQ(j->last_epoch(), run.batches.size());
+}
+
+TEST_F(PersistTest, JournalTornTailIsDroppedAtEveryCutOffset) {
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 6);
+  const std::string jpath = path("wal");
+  std::string err;
+  {
+    auto j = Journal::open(jpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < run.batches.size(); ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+  }
+  const std::string bytes = file_str(jpath);
+
+  // Record boundaries, discovered by scanning successive prefixes.
+  const JournalScan full = persist::scan_journal(jpath);
+  ASSERT_EQ(full.records.size(), run.batches.size());
+  ASSERT_EQ(full.valid_bytes, bytes.size());
+
+  // Every offset through the header and first record boundary (offset 15
+  // = the header without its newline — a torn header write), then a
+  // stride through the rest.
+  for (size_t cut = 0; cut <= bytes.size(); cut += (cut < 40 ? 1 : 7)) {
+    const std::string cpath = path("cut");
+    write_file(cpath, bytes.substr(0, cut));
+    const JournalScan scan = persist::scan_journal(cpath);
+    if (cut == 0) {
+      EXPECT_TRUE(scan.ok);  // empty file == fresh journal
+      continue;
+    }
+    if (!scan.ok) {
+      // A cut inside the header line: unrecognized, refused.
+      EXPECT_LT(cut, std::string("pdmm-journal v1\n").size());
+      continue;
+    }
+    EXPECT_LE(scan.valid_bytes, cut);
+    // Whatever survived must be a strict prefix of the real records.
+    ASSERT_LE(scan.records.size(), run.batches.size());
+    for (size_t i = 0; i < scan.records.size(); ++i) {
+      EXPECT_EQ(scan.records[i].epoch, i + 1);
+      EXPECT_EQ(scan.records[i].batch.insertions,
+                run.batches[i].insertions);
+    }
+    // A torn tail must be flagged unless the cut landed on a boundary.
+    EXPECT_EQ(scan.truncated_tail, scan.valid_bytes != cut);
+
+    // Reopening truncates the tear and appends cleanly. When the cut is
+    // the full file, the journal is already complete — append the next
+    // epoch past the recorded ones instead of re-appending a batch.
+    auto j = Journal::open(cpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    const uint64_t resume = j->last_epoch();
+    ASSERT_LE(resume, run.batches.size());
+    const Batch& next =
+        run.batches[static_cast<size_t>(resume) % run.batches.size()];
+    ASSERT_TRUE(j->append(resume + 1, next, &err)) << err;
+    j.reset();
+    const JournalScan rescan = persist::scan_journal(cpath);
+    ASSERT_TRUE(rescan.ok) << rescan.error;
+    EXPECT_FALSE(rescan.truncated_tail);
+    EXPECT_EQ(rescan.records.size(), static_cast<size_t>(resume) + 1);
+  }
+}
+
+TEST_F(PersistTest, JournalRefusesForeignFilesAndGaps) {
+  std::string err;
+  write_file(path("not_a_journal"), "something else entirely\nrec 1 2 3\n");
+  EXPECT_EQ(Journal::open(path("not_a_journal"), {}, &err), nullptr);
+
+  // A journal whose durable records skip an epoch is refused whole (that
+  // is data loss in the prefix, not a torn tail).
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 3);
+  {
+    auto j = Journal::open(path("gap"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    ASSERT_TRUE(j->append(1, run.batches[0], &err));
+  }
+  std::string bytes = file_str(path("gap"));
+  // Forge a second record claiming epoch 3 by rewriting the header of a
+  // valid record (content stays CRC-clean because we recompute nothing —
+  // instead append a genuine record to a copy opened at epoch 1, then
+  // tamper the epoch field and fix nothing: the scan must refuse on the
+  // epoch gap before trusting the payload).
+  {
+    auto j = Journal::open(path("gap"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    ASSERT_TRUE(j->append(2, run.batches[1], &err));
+  }
+  bytes = file_str(path("gap"));
+  const size_t rec2 = bytes.find("rec 2 ");
+  ASSERT_NE(rec2, std::string::npos);
+  bytes[rec2 + 4] = '3';  // epoch 2 -> 3: a gap
+  write_file(path("gap"), bytes);
+  const JournalScan scan = persist::scan_journal(path("gap"));
+  EXPECT_FALSE(scan.ok);
+}
+
+TEST_F(PersistTest, JournalRefusesMidFileRot) {
+  // A damaged record with intact records AFTER it is bit rot, not a
+  // crash tail: truncating there would destroy durable batches, so the
+  // scan must refuse the whole file instead of reporting a torn tail.
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 6);
+  std::string err;
+  {
+    auto j = Journal::open(path("rot"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < run.batches.size(); ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+  }
+  std::string bytes = file_str(path("rot"));
+  const size_t rec3 = bytes.find("rec 3 ");
+  ASSERT_NE(rec3, std::string::npos);
+  const size_t flip = bytes.find('\n', rec3) + 2;  // inside record 3's payload
+  bytes[flip] ^= 0x01;
+  write_file(path("rot"), bytes);
+  const JournalScan scan = persist::scan_journal(path("rot"));
+  EXPECT_FALSE(scan.ok);
+  EXPECT_NE(scan.error.find("mid-file"), std::string::npos) << scan.error;
+  // And reopening for append must refuse too (no silent truncation).
+  EXPECT_EQ(Journal::open(path("rot"), {}, &err), nullptr);
+  // Length-field rot: an enlarged nbytes makes the payload read swallow
+  // the records after it (possibly to EOF) before failing — the resync
+  // probe must still find them and refuse the file.
+  {
+    std::string lb = file_str(path("rot"));
+    lb[flip] ^= 0x01;  // restore record 3's payload
+    const size_t r3 = lb.find("rec 3 ");
+    const size_t len_start = lb.find(' ', r3 + 4) + 1;
+    const size_t len_end = lb.find(' ', len_start);
+    lb.replace(len_start, len_end - len_start, "999999");
+    write_file(path("rot_len"), lb);
+    const JournalScan lscan = persist::scan_journal(path("rot_len"));
+    EXPECT_FALSE(lscan.ok) << "enlarged length field must not truncate "
+                              "past the intact records it swallowed";
+    EXPECT_NE(lscan.error.find("mid-file"), std::string::npos)
+        << lscan.error;
+  }
+  // Damage in the LAST record, by contrast, is a legitimate torn tail.
+  std::string tail_bytes = file_str(path("rot"));
+  tail_bytes[flip] ^= 0x01;  // restore record 3
+  const size_t rec6 = tail_bytes.find("rec 6 ");
+  ASSERT_NE(rec6, std::string::npos);
+  tail_bytes[tail_bytes.find('\n', rec6) + 2] ^= 0x01;
+  write_file(path("rot"), tail_bytes);
+  const JournalScan tail_scan = persist::scan_journal(path("rot"));
+  EXPECT_TRUE(tail_scan.ok) << tail_scan.error;
+  EXPECT_TRUE(tail_scan.truncated_tail);
+  EXPECT_EQ(tail_scan.last_epoch, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery end-to-end: crash at arbitrary byte offsets, recover, compare
+// byte-identically against the uninterrupted reference.
+// ---------------------------------------------------------------------------
+
+TEST_F(PersistTest, RecoveryIsByteIdenticalAtEveryCut) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const size_t kBatches = 30;
+  const RefRun run = drive_reference(cfg, pool, kBatches);
+
+  // The "server" run: journal every batch, checkpoint every 8.
+  const std::string prefix = path("ck");
+  const std::string jpath = path("wal");
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    auto j = Journal::open(jpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < kBatches; ++i) {
+      const Batch& b = run.batches[i];
+      m.update_by_endpoints(b.deletions, b.insertions);
+      ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
+      if (m.batch_epoch() % 8 == 0) {
+        ASSERT_TRUE(
+            persist::write_checkpoint_series(prefix, m, 100, &err))
+            << err;
+      }
+    }
+  }
+  const std::string journal_bytes = file_str(jpath);
+  const auto checkpoints = persist::list_checkpoints(prefix);
+  ASSERT_FALSE(checkpoints.empty());
+
+  // Crash at a spread of byte offsets within the journal. Checkpoints
+  // whose epoch exceeds the durable journal tail cannot exist in a real
+  // crash (they are written after the journal record), so present only
+  // the ones at or below the durable epoch.
+  for (size_t cut = std::string("pdmm-journal v1\n").size();
+       cut <= journal_bytes.size(); cut += 211) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    const std::string cdir = path("crash");
+    fs::remove_all(cdir);
+    fs::create_directories(cdir);
+    const std::string cj = cdir + "/wal";
+    write_file(cj, journal_bytes.substr(0, cut));
+    const JournalScan scan = persist::scan_journal(cj);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    const uint64_t durable = scan.last_epoch;
+    for (const auto& [epoch, p] : checkpoints) {
+      if (epoch <= durable) {
+        fs::copy_file(p, cdir + "/" + fs::path(p).filename().string());
+      }
+    }
+
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = cdir + "/ck";
+    opt.journal_path = cj;
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(rep.final_epoch, durable);
+    EXPECT_EQ(rep.journal_tail_truncated, scan.truncated_tail);
+    MatchingChecker::check(recovered);
+    EXPECT_EQ(save_str(recovered),
+              run.reference[static_cast<size_t>(durable)])
+        << "recovered state differs from the uninterrupted run at epoch "
+        << durable;
+  }
+}
+
+TEST_F(PersistTest, RecoverySkipsDamagedCheckpoints) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const size_t kBatches = 16;
+  const RefRun run = drive_reference(cfg, pool, kBatches);
+  const std::string prefix = path("ck");
+  const std::string jpath = path("wal");
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    auto j = Journal::open(jpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < kBatches; ++i) {
+      const Batch& b = run.batches[i];
+      m.update_by_endpoints(b.deletions, b.insertions);
+      ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
+      if (m.batch_epoch() % 4 == 0) {
+        ASSERT_TRUE(
+            persist::write_checkpoint_series(prefix, m, 100, &err))
+            << err;
+      }
+    }
+  }
+  // Damage the newest checkpoint (epoch 16): flip one snapshot byte.
+  {
+    std::string bytes = file_str(path("ck.16"));
+    bytes[bytes.size() / 2] ^= 0x01;
+    write_file(path("ck.16"), bytes);
+  }
+  DynamicMatcher recovered(cfg, pool);
+  RecoveryOptions opt;
+  opt.checkpoint_prefix = prefix;
+  opt.journal_path = jpath;
+  const RecoveryReport rep = persist::recover(recovered, opt);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.skipped_checkpoints, 1u);
+  EXPECT_EQ(rep.checkpoint_epoch, 12u);  // fell back one series entry
+  EXPECT_EQ(rep.final_epoch, kBatches);
+  EXPECT_EQ(save_str(recovered), run.reference[kBatches]);
+}
+
+TEST_F(PersistTest, JournalOnlyAndCheckpointOnlyRecovery) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const size_t kBatches = 10;
+  const RefRun run = drive_reference(cfg, pool, kBatches);
+  std::string err;
+  {
+    auto j = Journal::open(path("wal"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < kBatches; ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+  }
+  {
+    // Journal only: replay everything from the empty matcher.
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.journal_path = path("wal");
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_TRUE(rep.checkpoint_path.empty());
+    EXPECT_EQ(rep.final_epoch, kBatches);
+    EXPECT_EQ(save_str(recovered), run.reference[kBatches]);
+  }
+  {
+    // Checkpoint only: no journal tail to replay.
+    DynamicMatcher m(cfg, pool);
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err))
+        << err;
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = path("ck");
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(rep.final_epoch, kBatches);
+    EXPECT_EQ(save_str(recovered), run.reference[kBatches]);
+  }
+  {
+    // Nothing at all is an error, not a crash.
+    DynamicMatcher recovered(cfg, pool);
+    const RecoveryReport rep = persist::recover(recovered, {});
+    EXPECT_FALSE(rep.ok);
+  }
+}
+
+TEST_F(PersistTest, RenamedCheckpointIsRejectedWithoutContamination) {
+  // A checkpoint restored under the wrong epoch name (ck.100 copied to
+  // ck.50) must be skipped — and must NOT leave its loaded state behind
+  // for the journal-only fallback to build on. With no journal records
+  // and no other checkpoint, recovery must refuse entirely rather than
+  // hand back either the rejected state or a silently empty matcher.
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 8);
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err))
+        << err;
+  }
+  fs::rename(path("ck.8"), path("ck.50"));
+  {
+    auto j = Journal::open(path("wal"), {}, &err);  // header, no records
+    ASSERT_NE(j, nullptr) << err;
+  }
+  DynamicMatcher recovered(cfg, pool);
+  RecoveryOptions opt;
+  opt.checkpoint_prefix = path("ck");
+  opt.journal_path = path("wal");
+  const RecoveryReport rep = persist::recover(recovered, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(recovered.graph().num_edges(), 0u)
+      << "rejected checkpoint state leaked into the matcher";
+
+  // Deeper forgery: a CRC-valid checkpoint whose meta epoch lies about
+  // its snapshot (meta says 9, snapshot is at 8). The loader accepts the
+  // snapshot, the epoch cross-check rejects it — and must discard the
+  // state it loaded instead of leaving it for the fallback path.
+  std::string bytes = file_str(path("ck.50"));
+  const size_t mpos = bytes.find("epoch 8\n");
+  ASSERT_NE(mpos, std::string::npos);
+  bytes[mpos + 6] = '9';
+  const size_t mhdr = bytes.find("meta ");
+  const size_t mlen_end = bytes.find('\n', mhdr);
+  std::istringstream hs(bytes.substr(mhdr, mlen_end - mhdr));
+  std::string tag, len_tok, crc_tok;
+  hs >> tag >> len_tok >> crc_tok;
+  const size_t mlen = std::stoull(len_tok);
+  const uint32_t fixed_crc =
+      crc32(std::string_view(bytes).substr(mlen_end + 1, mlen));
+  bytes.replace(mhdr, mlen_end - mhdr,
+                "meta " + len_tok + " " + std::to_string(fixed_crc));
+  fs::remove(path("ck.50"));
+  write_file(path("ck.9"), bytes);
+
+  DynamicMatcher recovered2(cfg, pool);
+  const RecoveryReport rep2 = persist::recover(recovered2, opt);
+  EXPECT_FALSE(rep2.ok);
+  EXPECT_NE(rep2.error.find("damaged"), std::string::npos) << rep2.error;
+  EXPECT_EQ(recovered2.graph().num_edges(), 0u)
+      << "forged checkpoint state leaked into the matcher";
+}
+
+TEST_F(PersistTest, RecoveryRefusesCheckpointAheadOfJournal) {
+  // A checkpoint is written only after its covering journal record, so a
+  // checkpoint ahead of a non-empty journal is never a process-kill
+  // artifact — it is a stale series next to a newer run's journal (or an
+  // out-of-contract OS crash). Silently preferring the checkpoint would
+  // discard the journal's durable batches; recovery must refuse.
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 10);
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err))
+        << err;  // checkpoint at epoch 10
+  }
+  {
+    auto j = Journal::open(path("wal"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (size_t i = 0; i < 4; ++i) {  // journal only reaches epoch 4
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+  }
+  DynamicMatcher recovered(cfg, pool);
+  RecoveryOptions opt;
+  opt.checkpoint_prefix = path("ck");
+  opt.journal_path = path("wal");
+  const RecoveryReport rep = persist::recover(recovered, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("lineage"), std::string::npos) << rep.error;
+}
+
+TEST_F(PersistTest, RecoveryRefusesConfigMismatchedCheckpoint) {
+  // A CRC-valid checkpoint written under different flags is operator
+  // error, not damage: recovery must hard-stop instead of silently
+  // skipping it and replaying the journal under the wrong Config.
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 6);
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    auto j = Journal::open(path("wal"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+      ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err))
+        << err;
+  }
+  Config other = cfg;
+  other.seed = cfg.seed + 1;
+  DynamicMatcher recovered(other, pool);
+  RecoveryOptions opt;
+  opt.checkpoint_prefix = path("ck");
+  opt.journal_path = path("wal");
+  const RecoveryReport rep = persist::recover(recovered, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("different Config"), std::string::npos)
+      << rep.error;
+}
+
+TEST_F(PersistTest, RecoveryRefusesMismatchedJournal) {
+  // A journal recorded against a different run than the checkpoint: the
+  // replay guard must reject it instead of letting update() abort.
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 6);
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err))
+        << err;
+  }
+  {
+    auto j = Journal::open(path("wal"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    // Record an epoch-7 batch that deletes an edge the checkpointed state
+    // does not contain.
+    Batch bogus;
+    bogus.deletions.push_back({4000, 4001});
+    for (uint64_t e = 1; e <= 7; ++e) {
+      ASSERT_TRUE(j->append(e, e == 7 ? bogus : run.batches[e - 1], &err))
+          << err;
+    }
+  }
+  DynamicMatcher recovered(cfg, pool);
+  RecoveryOptions opt;
+  opt.checkpoint_prefix = path("ck");
+  opt.journal_path = path("wal");
+  const RecoveryReport rep = persist::recover(recovered, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("does not match"), std::string::npos)
+      << rep.error;
+
+  // An over-rank deletion (journal from a higher-rank run) must come
+  // back as the same error — the registry lookup itself asserts on an
+  // over-rank endpoint list, so the pre-check must bound it first.
+  {
+    auto j = Journal::open(path("wal_rank"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    Batch rank3;
+    rank3.deletions.push_back({1, 2, 3});
+    ASSERT_TRUE(j->append(1, rank3, &err)) << err;
+  }
+  DynamicMatcher recovered3(cfg, pool);
+  RecoveryOptions opt3;
+  opt3.journal_path = path("wal_rank");
+  const RecoveryReport rep3 = persist::recover(recovered3, opt3);
+  EXPECT_FALSE(rep3.ok);
+  EXPECT_NE(rep3.error.find("does not match"), std::string::npos)
+      << rep3.error;
+}
+
+}  // namespace
+}  // namespace pdmm

@@ -1,9 +1,16 @@
 // Snapshot / restore tests: a restored matcher must be structurally
 // indistinguishable from the original (full invariant oracle) and continue
-// *bit-identically* under the same seed and update stream.
+// *bit-identically* under the same seed and update stream — and the loader
+// must treat its input as untrusted: every corpus of truncated, duplicated,
+// out-of-bounds and non-numeric mutations below must come back as a
+// recoverable SnapshotError (never a crash, abort or out-of-bounds access;
+// the ASan job runs this file to enforce the latter), leaving the matcher
+// reset and fully usable.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/checker.h"
 #include "core/matcher.h"
@@ -32,6 +39,17 @@ void drive(DynamicMatcher& m, ChurnStream& stream, int batches, size_t k) {
   }
 }
 
+std::string save_str(const DynamicMatcher& m) {
+  std::stringstream buf;
+  EXPECT_TRUE(m.save(buf));
+  return buf.str();
+}
+
+SnapshotError load_str(DynamicMatcher& m, const std::string& snapshot) {
+  std::istringstream in(snapshot);
+  return m.load(in);
+}
+
 struct SnapParams {
   uint32_t rank;
   Vertex n;
@@ -54,11 +72,9 @@ TEST_P(Snapshot, RestoredStatePassesOracleAndMatches) {
   ChurnStream stream(so);
   drive(a, stream, 25, 32);
 
-  std::stringstream buf;
-  a.save(buf);
-
   DynamicMatcher b(snap_config(p.rank, p.seed), pool);
-  b.load(buf);
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_TRUE(err.ok()) << err.to_string();
   MatchingChecker::check(b);
   EXPECT_EQ(a.matching(), b.matching());
   EXPECT_EQ(a.matching_size(), b.matching_size());
@@ -81,10 +97,9 @@ TEST_P(Snapshot, ContinuationIsBitIdentical) {
   ChurnStream stream_a(so);
   drive(a, stream_a, 20, 32);
 
-  std::stringstream buf;
-  a.save(buf);
   DynamicMatcher b(snap_config(p.rank, p.seed), pool);
-  b.load(buf);
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_TRUE(err.ok()) << err.to_string();
 
   // Continue both under identical batches; every intermediate state must
   // agree exactly (ids included — the free-list order is preserved).
@@ -114,13 +129,94 @@ INSTANTIATE_TEST_SUITE_P(
       return testing_util::name_cat("r", p.rank, "_n", p.n, "_s", p.seed);
     });
 
+// ---------------------------------------------------------------------------
+// Save -> load -> continue equivalence across stream shapes and thread
+// counts: the continuation of a restored matcher must be byte-identical
+// (full save() output) to the original's, whatever pool drives it.
+// ---------------------------------------------------------------------------
+
+enum class StreamKind { kChurn, kOscillation };
+
+struct ContinueParams {
+  StreamKind stream;
+  unsigned threads;
+};
+
+class SaveLoadContinue : public testing::TestWithParam<ContinueParams> {};
+
+TEST_P(SaveLoadContinue, ContinuationSnapshotsByteIdentical) {
+  const auto p = GetParam();
+  ThreadPool pool(p.threads, /*allow_oversubscribe=*/true);
+  Config cfg = snap_config(2, 404);
+  cfg.check_invariants = false;  // matrix is about state, oracle runs below
+
+  auto next_batch = [&](auto& stream) { return stream.next(48); };
+  auto run = [&](auto make_stream) {
+    DynamicMatcher a(cfg, pool);
+    auto stream = make_stream();
+    for (int i = 0; i < 30; ++i) {
+      const Batch b = next_batch(stream);
+      a.update_by_endpoints(b.deletions, b.insertions);
+    }
+    const std::string snap = save_str(a);
+
+    DynamicMatcher b(cfg, pool);
+    const SnapshotError err = load_str(b, snap);
+    ASSERT_TRUE(err.ok()) << err.to_string();
+    ASSERT_EQ(save_str(b), snap) << "restored state must re-save "
+                                    "byte-identically";
+    for (int i = 0; i < 20; ++i) {
+      const Batch batch = next_batch(stream);
+      a.update_by_endpoints(batch.deletions, batch.insertions);
+      b.update_by_endpoints(batch.deletions, batch.insertions);
+    }
+    MatchingChecker::check(b);
+    ASSERT_EQ(save_str(a), save_str(b))
+        << "continuation diverged after restore";
+  };
+
+  if (p.stream == StreamKind::kChurn) {
+    run([] {
+      ChurnStream::Options so;
+      so.n = 300;
+      so.target_edges = 700;
+      so.zipf_s = 0.5;
+      so.seed = 11;
+      return ChurnStream(so);
+    });
+  } else {
+    run([] {
+      OscillationStream::Options so;
+      so.n = 300;
+      so.core_edges = 128;
+      so.background_edges = 400;
+      so.seed = 12;
+      return OscillationStream(so);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SaveLoadContinue,
+    testing::Values(ContinueParams{StreamKind::kChurn, 1},
+                    ContinueParams{StreamKind::kChurn, 2},
+                    ContinueParams{StreamKind::kChurn, 4},
+                    ContinueParams{StreamKind::kOscillation, 1},
+                    ContinueParams{StreamKind::kOscillation, 2},
+                    ContinueParams{StreamKind::kOscillation, 4}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return testing_util::name_cat(
+          p.stream == StreamKind::kChurn ? "churn" : "oscillation", "_t",
+          p.threads);
+    });
+
 TEST(SnapshotBasic, EmptyMatcherRoundTrips) {
   ThreadPool pool(1);
   DynamicMatcher a(snap_config(), pool);
-  std::stringstream buf;
-  a.save(buf);
   DynamicMatcher b(snap_config(), pool);
-  b.load(buf);
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_TRUE(err.ok()) << err.to_string();
   EXPECT_EQ(b.matching_size(), 0u);
   EXPECT_EQ(b.graph().num_edges(), 0u);
   // And it still works afterwards.
@@ -135,10 +231,9 @@ TEST(SnapshotBasic, PreservesTempDeletedRelationships) {
   for (Vertex i = 1; i <= 120; ++i) spokes.push_back({0, i});
   a.insert_batch(spokes);
 
-  std::stringstream buf;
-  a.save(buf);
   DynamicMatcher b(snap_config(2, 9), pool);
-  b.load(buf);
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_TRUE(err.ok()) << err.to_string();
   MatchingChecker::check(b);
   size_t temp_a = 0, temp_b = 0;
   for (EdgeId e : a.graph().all_edges()) temp_a += a.is_temp_deleted(e);
@@ -147,24 +242,319 @@ TEST(SnapshotBasic, PreservesTempDeletedRelationships) {
   EXPECT_EQ(temp_a, temp_b);
 }
 
-TEST(SnapshotBasic, SeedMismatchRejected) {
-  testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(SnapshotBasic, SeedMismatchIsRecoverableError) {
   ThreadPool pool(1);
   DynamicMatcher a(snap_config(2, 1), pool);
-  std::stringstream buf;
-  a.save(buf);
   DynamicMatcher b(snap_config(2, 2), pool);
-  EXPECT_DEATH(b.load(buf), "seed");
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.message.find("seed"), std::string::npos) << err.to_string();
+  EXPECT_EQ(err.line, 2u);
 }
 
-TEST(SnapshotBasic, RankMismatchRejected) {
-  testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(SnapshotBasic, RankMismatchIsRecoverableError) {
   ThreadPool pool(1);
   DynamicMatcher a(snap_config(2, 1), pool);
-  std::stringstream buf;
-  a.save(buf);
   DynamicMatcher b(snap_config(3, 1), pool);
-  EXPECT_DEATH(b.load(buf), "rank");
+  const SnapshotError err = load_str(b, save_str(a));
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.message.find("rank"), std::string::npos) << err.to_string();
+}
+
+TEST(SnapshotBasic, SaveReportsStreamFailure) {
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(), pool);
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);  // closed pipe / full disk stand-in
+  EXPECT_FALSE(a.save(out));
+  // A file stream on a path that cannot exist fails the same way
+  // end-to-end (the fstream never opens, so every write fails).
+  std::ofstream bad("/nonexistent_pdmm_dir/impossible/snap.txt");
+  EXPECT_FALSE(a.save(bad));
+  // And a healthy stream succeeds.
+  std::ostringstream ok;
+  EXPECT_TRUE(a.save(ok));
+  EXPECT_FALSE(ok.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption corpus: systematic mutations of a real snapshot. Every mutant
+// must produce a recoverable error — never a crash, abort or OOB — and
+// leave the matcher usable (verified by driving it afterwards).
+// ---------------------------------------------------------------------------
+
+class SnapshotCorpus : public testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<ThreadPool>(1);
+    DynamicMatcher a(snap_config(2, 31), *pool_);
+    ChurnStream::Options so;
+    so.n = 160;
+    so.target_edges = 400;
+    so.zipf_s = 0.7;  // dense hubs: temp-deleted sets, D(e), bd lines
+    so.seed = 32;
+    ChurnStream stream(so);
+    drive(a, stream, 30, 32);
+    snapshot_ = save_str(a);
+    lines_ = split_lines(snapshot_);
+    // The corpus relies on every tag being present in the specimen.
+    for (const char* tag :
+         {"cfg", "sch", "reg", "e", "f", "nv", "v", "o", "a", "d", "bd",
+          "end"}) {
+      ASSERT_NE(find_line(tag), lines_.size()) << "specimen lacks a '" << tag
+                                               << "' line";
+    }
+  }
+
+  static std::vector<std::string> split_lines(const std::string& s) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start < s.size()) {
+      const size_t nl = s.find('\n', start);
+      out.push_back(s.substr(start, nl - start));
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+    return out;
+  }
+
+  size_t find_line(const std::string& tag) const {
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      if (lines_[i].rfind(tag + " ", 0) == 0 || lines_[i] == tag) return i;
+    }
+    return lines_.size();
+  }
+
+  static std::string join(const std::vector<std::string>& lines) {
+    std::string out;
+    for (const auto& l : lines) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+
+  // The core assertion: the mutant must fail recoverably and the matcher
+  // must remain usable afterwards.
+  void expect_rejected(const std::string& mutant, const std::string& what) {
+    DynamicMatcher m(snap_config(2, 31), *pool_);
+    const SnapshotError err = load_str(m, mutant);
+    EXPECT_FALSE(err.ok()) << what << ": mutant was accepted";
+    // Failed loads reset to empty; the matcher still matches afterwards.
+    EXPECT_EQ(m.graph().num_edges(), 0u) << what;
+    m.insert_batch(std::vector<std::vector<Vertex>>{{0, 1}, {2, 3}});
+    EXPECT_EQ(m.matching_size(), 2u) << what;
+    MatchingChecker::check(m);
+  }
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::string snapshot_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(SnapshotCorpus, SpecimenItselfLoads) {
+  DynamicMatcher m(snap_config(2, 31), *pool_);
+  const SnapshotError err = load_str(m, snapshot_);
+  ASSERT_TRUE(err.ok()) << err.to_string();
+  MatchingChecker::check(m);
+}
+
+TEST_F(SnapshotCorpus, EveryLinePrefixIsRejected) {
+  // Dropping any suffix of lines (including just the end trailer) must be
+  // detected as truncation.
+  for (size_t keep = 0; keep < lines_.size(); ++keep) {
+    std::vector<std::string> prefix(lines_.begin(),
+                                    lines_.begin() + static_cast<long>(keep));
+    expect_rejected(join(prefix),
+                    "prefix of " + std::to_string(keep) + " lines");
+  }
+}
+
+TEST_F(SnapshotCorpus, MidLineTruncationIsRejected) {
+  // Cut the byte stream mid-line at a sample of offsets (every 97th byte
+  // keeps the corpus fast while hitting every line kind in practice).
+  for (size_t cut = 1; cut + 1 < snapshot_.size(); cut += 97) {
+    if (snapshot_[cut - 1] == '\n') continue;  // line-boundary cuts above
+    expect_rejected(snapshot_.substr(0, cut),
+                    "byte-truncated at " + std::to_string(cut));
+  }
+}
+
+TEST_F(SnapshotCorpus, TruncatedTagLinesAreRejected) {
+  // Drop the last token of one representative line per tag.
+  for (const char* tag : {"cfg", "sch", "reg", "e", "nv", "v", "a", "bd"}) {
+    const size_t i = find_line(tag);
+    auto mutant = lines_;
+    const size_t sp = mutant[i].find_last_of(' ');
+    ASSERT_NE(sp, std::string::npos);
+    mutant[i] = mutant[i].substr(0, sp);
+    expect_rejected(join(mutant), std::string("truncated '") + tag +
+                                      "' line: " + mutant[i]);
+  }
+}
+
+TEST_F(SnapshotCorpus, DuplicatedTagLinesAreRejected) {
+  for (const char* tag : {"e", "f", "v", "o", "a", "d", "bd"}) {
+    const size_t i = find_line(tag);
+    auto mutant = lines_;
+    // Re-insert a copy right after the original (before `end`).
+    mutant.insert(mutant.begin() + static_cast<long>(i) + 1, lines_[i]);
+    expect_rejected(join(mutant),
+                    std::string("duplicated '") + tag + "' line");
+  }
+}
+
+TEST_F(SnapshotCorpus, OutOfBoundsIdsAreRejected) {
+  // Replace the id field (token 1) of each id-bearing tag with a value
+  // beyond the declared bound, and separately with a giant one.
+  for (const char* tag : {"e", "v", "o", "a", "d", "bd"}) {
+    for (const char* big : {"999999", "4294967295", "18446744073709551615"}) {
+      const size_t i = find_line(tag);
+      auto mutant = lines_;
+      std::istringstream ls(lines_[i]);
+      std::string t, id;
+      ls >> t >> id;
+      std::string rest;
+      std::getline(ls, rest);
+      mutant[i] = t + " " + big + rest;
+      expect_rejected(join(mutant), std::string("oob id in '") + tag +
+                                        "' line -> " + big);
+    }
+  }
+  {
+    // An out-of-bounds *member* id too (last token of the o line).
+    const size_t i = find_line("o");
+    auto mutant = lines_;
+    const size_t sp = mutant[i].find_last_of(' ');
+    mutant[i] = mutant[i].substr(0, sp) + " 888888";
+    expect_rejected(join(mutant), "oob member id in 'o' line");
+  }
+}
+
+TEST_F(SnapshotCorpus, NonNumericFieldsAreRejected) {
+  for (const char* tag : {"cfg", "sch", "reg", "e", "f", "nv", "v", "o",
+                          "a", "d", "bd"}) {
+    const size_t i = find_line(tag);
+    auto mutant = lines_;
+    const size_t sp = mutant[i].find_last_of(' ');
+    ASSERT_NE(sp, std::string::npos) << tag;
+    mutant[i] = mutant[i].substr(0, sp + 1) + "xyz";
+    expect_rejected(join(mutant), std::string("non-numeric field in '") +
+                                      tag + "' line");
+  }
+  {
+    // Negative where unsigned is required.
+    const size_t i = find_line("e");
+    auto mutant = lines_;
+    std::istringstream ls(lines_[i]);
+    std::string t, id;
+    ls >> t >> id;
+    std::string rest;
+    std::getline(ls, rest);
+    mutant[i] = t + " -1" + rest;
+    expect_rejected(join(mutant), "negative edge id");
+  }
+}
+
+TEST_F(SnapshotCorpus, UnknownTagAndHeaderMutationsAreRejected) {
+  {
+    auto mutant = lines_;
+    mutant.insert(mutant.begin() + 4, "zz 1 2 3");
+    expect_rejected(join(mutant), "unknown tag line");
+  }
+  {
+    auto mutant = lines_;
+    mutant[0] = "pdmm-snapshot v2";
+    expect_rejected(join(mutant), "wrong version");
+  }
+  {
+    auto mutant = lines_;
+    mutant[0] = "garbage";
+    expect_rejected(join(mutant), "garbage header");
+  }
+}
+
+TEST_F(SnapshotCorpus, CountMismatchesAreRejected) {
+  {
+    // Inflate the declared num_alive.
+    const size_t i = find_line("reg");
+    auto mutant = lines_;
+    std::istringstream ls(lines_[i]);
+    std::string t, bound, alive;
+    ls >> t >> bound >> alive;
+    mutant[i] = t + " " + bound + " " +
+                std::to_string(std::stoull(alive) + 1);
+    expect_rejected(join(mutant), "inflated num_alive");
+  }
+  {
+    // Strip the matched flag off an edge while its endpoints still claim
+    // it: the post-load verification must notice the disagreement.
+    size_t i = lines_.size();
+    for (size_t j = 0; j < lines_.size(); ++j) {
+      if (lines_[j].rfind("e ", 0) != 0) continue;
+      std::istringstream ls(lines_[j]);
+      std::string tok;
+      std::vector<std::string> toks;
+      while (ls >> tok) toks.push_back(tok);
+      if (toks[toks.size() - 2] == "1") {  // flags field == kMatched
+        i = j;
+        break;
+      }
+    }
+    ASSERT_NE(i, lines_.size()) << "no matched edge in specimen";
+    auto mutant = lines_;
+    const size_t flags_pos = mutant[i].find_last_of(' ');
+    const size_t before = mutant[i].find_last_of(' ', flags_pos - 1);
+    mutant[i] = mutant[i].substr(0, before + 1) + "0" +
+                mutant[i].substr(flags_pos);
+    expect_rejected(join(mutant), "unflagged matched edge");
+  }
+  {
+    // Remove one id from the free list: the id becomes unaccounted for.
+    const size_t i = find_line("f");
+    auto mutant = lines_;
+    const size_t sp = mutant[i].find_last_of(' ');
+    if (sp != std::string::npos && sp > 1) {
+      mutant[i] = mutant[i].substr(0, sp);
+      expect_rejected(join(mutant), "free id dropped");
+    }
+  }
+  {
+    // A D-deletion budget on a dead (free-listed) edge: in-bounds id, but
+    // no reachable state has epoch_d_deleted_ != 0 off a matched edge.
+    std::istringstream fs(lines_[find_line("f")]);
+    std::string tag, free_id;
+    fs >> tag;
+    if (fs >> free_id) {
+      const size_t bi = find_line("bd");
+      std::istringstream bs(lines_[bi]);
+      std::string t, id, budget;
+      bs >> t >> id >> budget;
+      auto mutant = lines_;
+      mutant[bi] = "bd " + free_id + " " + budget;
+      expect_rejected(join(mutant), "bd budget on a free-listed edge");
+    }
+  }
+}
+
+TEST_F(SnapshotCorpus, HostileBoundsAreRejectedBeforeAllocating) {
+  // Bounds beyond the id/vertex domains are rejected at the header line,
+  // before any array is sized from them. (Mid-size hostile bounds that
+  // pass the domain check are covered by the loader's bad_alloc guard —
+  // not exercised here because provoking real allocation failure is
+  // environment-dependent.)
+  {
+    std::string mutant = "pdmm-snapshot v1\n";
+    mutant += lines_[1] + "\n" + lines_[2] + "\n";
+    mutant += "reg 18446744073709551615 0\nf\nnv 0\nend\n";
+    expect_rejected(mutant, "hostile reg id_bound");
+  }
+  {
+    std::string mutant = "pdmm-snapshot v1\n";
+    mutant += lines_[1] + "\n" + lines_[2] + "\n";
+    mutant += "reg 0 0\nf\nnv 18446744073709551615\nend\n";
+    expect_rejected(mutant, "hostile nv bound");
+  }
 }
 
 }  // namespace

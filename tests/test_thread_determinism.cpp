@@ -109,7 +109,7 @@ RunResult run_stream(StreamKind kind, uint64_t seed, unsigned threads) {
 
   out.matching = m.matching_size();
   std::ostringstream snap;
-  m.save(snap);
+  EXPECT_TRUE(m.save(snap));
   out.snapshot = snap.str();
   return out;
 }

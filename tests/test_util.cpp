@@ -10,6 +10,7 @@
 
 #include "util/arg_parse.h"
 #include "util/bits.h"
+#include "util/crc32.h"
 #include "util/flat_map.h"
 #include "util/indexed_set.h"
 #include "util/json.h"
@@ -19,6 +20,58 @@
 
 namespace pdmm {
 namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The standard CRC-32 check value plus edge cases; matches zlib/binascii.
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  EXPECT_EQ(crc32(std::string_view("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(std::string_view("The quick brown fox jumps over the "
+                                   "lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string s = "pdmm-journal payload with\nseveral\nlines\n";
+  for (size_t split = 0; split <= s.size(); ++split) {
+    uint32_t crc = crc32_update(0, s.data(), split);
+    crc = crc32_update(crc, s.data() + split, s.size() - split);
+    EXPECT_EQ(crc, crc32(s)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string s = "e 17 2 3 9 0 9 1 4294967295";
+  const uint32_t clean = crc32(s);
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      s[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(crc32(s), clean);
+      s[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+TEST(ParseNum, I64Strict) {
+  int64_t v = 0;
+  EXPECT_EQ(parse_i64_strict("0", v), ParseNum::kOk);
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(parse_i64_strict("-1", v), ParseNum::kOk);
+  EXPECT_EQ(v, -1);
+  EXPECT_EQ(parse_i64_strict("9223372036854775807", v), ParseNum::kOk);
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_EQ(parse_i64_strict("-9223372036854775808", v), ParseNum::kOk);
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_EQ(parse_i64_strict("9223372036854775808", v),
+            ParseNum::kOutOfRange);
+  EXPECT_EQ(parse_i64_strict("", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict("+1", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict("-", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict(" 1", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict("1 ", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict("1x", v), ParseNum::kMalformed);
+  EXPECT_EQ(parse_i64_strict("0x10", v), ParseNum::kMalformed);
+}
 
 TEST(Bits, NextPow2) {
   EXPECT_EQ(next_pow2(1), 1u);

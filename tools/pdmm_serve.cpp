@@ -8,6 +8,20 @@
 //   pdmm_serve --readers=8 --validate            # validate each new epoch
 //   pdmm_serve --trace=trace.txt --readers=4     # replay a recorded trace
 //
+// Durability (src/persist): --journal=FILE appends one checksummed record
+// per batch (write-ahead of nothing, behind the in-memory commit — after a
+// crash the log holds every flushed batch); --checkpoint=PREFIX
+// --checkpoint_every=K writes an atomic checkpoint every K batches and a
+// final one at exit; --recover restores checkpoint+journal state *before*
+// serving and skips the already-applied prefix of the update stream, so a
+// SIGKILLed server restarted with the same flags republishes the same
+// MatchView epochs and continues bit-identically:
+//
+//   pdmm_serve --trace=t.txt --journal=wal --checkpoint=ck
+//              --checkpoint_every=100            # ... SIGKILL ...
+//   pdmm_serve --trace=t.txt --journal=wal --checkpoint=ck
+//              --checkpoint_every=100 --recover  # resumes where durable
+//
 // Each reader loops: acquire the latest view, sample its staleness
 // (published epoch minus the view's), run --queries_per_view random
 // queries (matched_edge_of / level_of / is_matched round-trips), release,
@@ -16,12 +30,17 @@
 // updater, so queries/s measures the cost of the read path itself, not
 // lock contention.
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/matcher.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+#include "persist/recovery.h"
 #include "serve/view_service.h"
 #include "util/arg_parse.h"
 #include "util/rng.h"
@@ -125,7 +144,22 @@ int main(int argc, char** argv) {
   const uint64_t threads = args.get_u64("threads", 0);
   const bool validate = args.get_bool("validate", false);
   const std::string trace_path = args.get_string("trace", "");
+  const std::string journal_path = args.get_string("journal", "");
+  const bool fsync_each = args.get_bool("fsync", false);
+  const std::string checkpoint_prefix = args.get_string("checkpoint", "");
+  const uint64_t checkpoint_every = args.get_u64("checkpoint_every", 0);
+  const uint64_t checkpoint_keep = args.get_u64("checkpoint_keep", 2);
+  const bool recover_first = args.get_bool("recover", false);
+  const uint64_t throttle_us = args.get_u64("throttle_us", 0);
   args.finish();
+  if (checkpoint_every != 0 && checkpoint_prefix.empty()) {
+    std::cerr << "--checkpoint_every requires --checkpoint=PREFIX\n";
+    return 2;
+  }
+  if (recover_first && checkpoint_prefix.empty() && journal_path.empty()) {
+    std::cerr << "--recover requires --checkpoint and/or --journal\n";
+    return 2;
+  }
 
   // The update stream: a recorded trace, or steady-state churn.
   std::vector<Batch> trace;
@@ -156,6 +190,59 @@ int main(int argc, char** argv) {
   cfg.seed = seed + 1;
   cfg.initial_capacity = 1 << 20;
   DynamicMatcher m(cfg, pool);
+
+  // Recovery runs before the view service exists, so the first published
+  // view already carries the recovered epoch.
+  size_t skip_batches = 0;
+  persist::RecoveryReport rep;
+  if (recover_first) {
+    persist::RecoveryOptions ropt;
+    ropt.checkpoint_prefix = checkpoint_prefix;
+    ropt.journal_path = journal_path;
+    rep = persist::recover(m, ropt);
+    if (!rep.ok) {
+      std::cerr << "recovery failed: " << rep.error << "\n";
+      return 1;
+    }
+    std::cout << "recovered: epoch " << rep.final_epoch << " (checkpoint "
+              << (rep.checkpoint_path.empty() ? std::string("none")
+                                              : rep.checkpoint_path)
+              << " @ " << rep.checkpoint_epoch << " + "
+              << rep.replayed_batches << " journal batches"
+              << (rep.journal_tail_truncated ? ", torn tail dropped" : "")
+              << (rep.skipped_checkpoints
+                      ? ", " + std::to_string(rep.skipped_checkpoints) +
+                            " damaged checkpoint(s) skipped"
+                      : "")
+              << "), |M|=" << m.matching_size() << "\n";
+    if (rep.final_epoch > trace.size()) {
+      std::cerr << "recovered epoch " << rep.final_epoch
+                << " is beyond the " << trace.size()
+                << "-batch update stream (wrong trace for this state?)\n";
+      return 1;
+    }
+    skip_batches = static_cast<size_t>(rep.final_epoch);
+  }
+
+  std::unique_ptr<persist::Journal> journal;
+  if (!journal_path.empty()) {
+    persist::Journal::Options jopt;
+    jopt.fsync_each = fsync_each;
+    std::string jerr;
+    journal = persist::open_journal_after_recovery(journal_path, jopt, rep,
+                                                   &jerr);
+    if (!journal) {
+      std::cerr << "cannot open journal: " << jerr << "\n";
+      return 1;
+    }
+    if (journal->last_epoch() > m.batch_epoch()) {
+      std::cerr << "journal is ahead of the matcher (epoch "
+                << journal->last_epoch() << " > " << m.batch_epoch()
+                << "); run with --recover\n";
+      return 1;
+    }
+  }
+
   MatchViewService::Options sopt;
   sopt.max_readers = static_cast<size_t>(readers) * 2 + 8;
   MatchViewService serve(m, sopt);
@@ -173,9 +260,44 @@ int main(int argc, char** argv) {
 
   Timer t;
   uint64_t updates = 0;
-  for (const Batch& b : trace) {
+  uint64_t checkpoints_written = 0;
+  // Epoch of the newest checkpoint THIS process wrote (none yet). The
+  // shutdown checkpoint below keys off this, not off divisibility — after
+  // a --recover that consumed the whole stream the loop runs zero
+  // iterations and the final epoch still needs its checkpoint.
+  uint64_t last_ck_epoch = UINT64_MAX;
+  std::string persist_error;
+  for (size_t i = skip_batches; i < trace.size(); ++i) {
+    const Batch& b = trace[i];
     updates += b.deletions.size() + b.insertions.size();
     m.update_by_endpoints(b.deletions, b.insertions);
+    if (journal && !journal->append(m.batch_epoch(), b, &persist_error)) {
+      break;  // durability lost: stop taking updates
+    }
+    if (checkpoint_every != 0 && m.batch_epoch() % checkpoint_every == 0) {
+      if (!persist::write_checkpoint_series(checkpoint_prefix, m,
+                                            checkpoint_keep, &persist_error,
+                                            fsync_each)) {
+        break;
+      }
+      ++checkpoints_written;
+      last_ck_epoch = m.batch_epoch();
+    }
+    if (throttle_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+    }
+  }
+  // A final checkpoint at shutdown makes a clean restart replay-free.
+  // Written whenever a prefix is given and the loop did not just write
+  // one at this exact epoch — with --checkpoint_every=0 this is the only
+  // checkpoint (shutdown-only mode).
+  if (persist_error.empty() && !checkpoint_prefix.empty() &&
+      last_ck_epoch != m.batch_epoch()) {
+    if (persist::write_checkpoint_series(checkpoint_prefix, m,
+                                         checkpoint_keep, &persist_error,
+                                         fsync_each)) {
+      ++checkpoints_written;
+    }
   }
   const double update_secs = t.seconds();
   done.store(true, std::memory_order_release);
@@ -207,7 +329,8 @@ int main(int argc, char** argv) {
 
   ViewChannel& ch = serve.channel();
   ch.reclaim();  // readers are gone: everything but the current view frees
-  std::cout << "updater: " << trace.size() << " batches, " << updates
+  std::cout << "updater: " << (trace.size() - skip_batches)
+            << " batches (epoch " << m.batch_epoch() << "), " << updates
             << " updates in " << update_secs << " s ("
             << static_cast<uint64_t>(static_cast<double>(updates) /
                                      std::max(update_secs, 1e-9))
@@ -222,6 +345,18 @@ int main(int argc, char** argv) {
             << ch.freed_count() << " reclaimed, " << ch.retired_pending()
             << " pending"
             << (validate ? ", validation on" : "") << "\n";
+  if (journal || checkpoints_written) {
+    std::cout << "persist: "
+              << (journal ? journal->records_appended() : 0)
+              << " journal records (last epoch "
+              << (journal ? journal->last_epoch() : 0) << "), "
+              << checkpoints_written << " checkpoints"
+              << (fsync_each ? ", fsync per record" : "") << "\n";
+  }
+  if (!persist_error.empty()) {
+    std::cerr << "FAILED: persistence: " << persist_error << "\n";
+    return 1;
+  }
   if (!all_valid || !all_monotone) {
     std::cerr << "FAILED: "
               << (!all_valid ? "view validation " : "")

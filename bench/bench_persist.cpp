@@ -111,6 +111,7 @@ void run(Ctx& ctx) {
     std::string err;
     auto journal = persist::Journal::open(path, {}, &err);
     PDMM_ASSERT_MSG(journal != nullptr, err.c_str());
+    journal->appender_role().assert_held();  // single-threaded bench driver
     Sample s;
     Timer t;
     for (uint64_t i = 0; i < tail; ++i) {
@@ -140,6 +141,7 @@ void run(Ctx& ctx) {
     {
       auto journal = persist::Journal::open(path, {}, &err);
       PDMM_ASSERT_MSG(journal != nullptr, err.c_str());
+      journal->appender_role().assert_held();  // single-threaded bench driver
       for (uint64_t i = 0; i < tail; ++i) {
         PDMM_ASSERT(
             journal->append(m.batch_epoch() + 1 + i, tail_batches[i], &err));

@@ -67,12 +67,18 @@ void run(Ctx& ctx) {
           Xoshiro256 rng(hash_mix(so.seed, r + 1));
           ReaderCounters& c = counters[r];
           bool announced = false;
+          // mo: acquire — pairs with the coordinator's release store; stop
+          // is prompt and everything before shutdown is visible.
           while (!done.load(std::memory_order_acquire)) {
             ViewHandle h = serve.acquire();
             if (!h) continue;
+            // mo: relaxed — metric counter; snapshots only need eventual
+            // values, bounded by the join below.
             c.acquires.fetch_add(1, std::memory_order_relaxed);
             if (!announced) {
               announced = true;
+              // mo: release — pairs with the coordinator's acquire spin so
+              // the first acquire happens-before the clock starts.
               ready.fetch_add(1, std::memory_order_release);
             }
             c.staleness_max = std::max(c.staleness_max,
@@ -83,6 +89,7 @@ void run(Ctx& ctx) {
               const EdgeId e = h->matched_edge_of(v);
               if (e != kNoEdge && !h->is_matched(e)) std::abort();
             }
+            // mo: relaxed — metric counter (see acquires above).
             c.queries.fetch_add(queries_per_view,
                                 std::memory_order_relaxed);
           }
@@ -92,12 +99,15 @@ void run(Ctx& ctx) {
       // Don't start the clock until every reader has acquired once, so
       // short smoke segments still measure concurrent readers rather than
       // thread spin-up.
+      // mo: acquire — pairs with each reader's release announce.
       while (ready.load(std::memory_order_acquire) < readers) {
         std::this_thread::yield();
       }
       auto snapshot = [&] {
         uint64_t q = 0, a = 0;
         for (const ReaderCounters& c : counters) {
+          // mo: relaxed — metric snapshot; slight skew across readers is
+          // acceptable measurement noise.
           q += c.queries.load(std::memory_order_relaxed);
           a += c.acquires.load(std::memory_order_relaxed);
         }
@@ -111,8 +121,12 @@ void run(Ctx& ctx) {
       const auto [q_before, a_before] = snapshot();
       const DriveResult r = drive(m, stream, batches, batch_size);
       const auto [q_after, a_after] = snapshot();
+      // mo: release — pairs with the readers' acquire load of done.
       done.store(true, std::memory_order_release);
       for (auto& t : threads) t.join();
+      // This thread drove every update (it is the channel's single
+      // writer), and the readers joined above.
+      serve.channel().writer_role().assert_held();
       serve.channel().reclaim();  // readers are gone; drain the retired list
 
       const uint64_t queries = q_after - q_before;

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <thread>
 
+#include "util/assert.h"
+#include "util/parse_num.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/json.h"
@@ -172,15 +174,35 @@ Cli parse_cli(int argc, char** argv, bool allow_match) {
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
     }
+    // Reject malformed numeric flag values instead of silently reading a
+    // prefix (strtoull-style) — a typo'd --reps=1O would otherwise run the
+    // whole suite with reps=1.
+    auto need_u64 = [&](uint64_t& out) {
+      if (parse_u64_strict(value, out) != ParseNum::kOk) {
+        std::fprintf(stderr, "invalid --%s value: %s\n", key.c_str(),
+                     value.c_str());
+        cli.bad = true;
+      }
+    };
+    auto need_f64 = [&](double& out) {
+      if (parse_f64_strict(value, out) != ParseNum::kOk) {
+        std::fprintf(stderr, "invalid --%s value: %s\n", key.c_str(),
+                     value.c_str());
+        cli.bad = true;
+      }
+    };
     if (key == "reps") {
-      cli.opt.reps = std::max<size_t>(1, std::strtoull(value.c_str(), nullptr, 10));
+      uint64_t reps = 0;
+      need_u64(reps);
+      cli.opt.reps = std::max<size_t>(1, static_cast<size_t>(reps));
     } else if (key == "warmup") {
-      cli.opt.warmup = std::strtod(value.c_str(), nullptr);
+      need_f64(cli.opt.warmup);
     } else if (key == "threads") {
-      cli.opt.threads =
-          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      uint64_t threads = 0;
+      need_u64(threads);
+      cli.opt.threads = static_cast<unsigned>(threads);
     } else if (key == "seed") {
-      cli.opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+      need_u64(cli.opt.seed);
     } else if (key == "smoke") {
       cli.opt.smoke = value != "0" && value != "false";
     } else if (key == "json") {
@@ -188,14 +210,7 @@ Cli parse_cli(int argc, char** argv, bool allow_match) {
     } else if (key == "compare") {
       cli.compare_path = value;
     } else if (key == "compare-tolerance") {
-      char* end = nullptr;
-      cli.compare_tolerance = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0') {
-        std::fprintf(stderr, "invalid --compare-tolerance value: %s\n",
-                     value.c_str());
-        cli.bad = true;
-        return cli;
-      }
+      need_f64(cli.compare_tolerance);
     } else if (key == "list") {
       cli.list = value != "0" && value != "false";
     } else if (key == "match") {
@@ -458,7 +473,10 @@ uint64_t Ctx::u64(const std::string& name, uint64_t full, uint64_t smoke) {
   const auto it = opt_.overrides.find(name);
   if (it != opt_.overrides.end()) {
     consumed_[name] = true;
-    return std::strtoull(it->second.c_str(), nullptr, 10);
+    uint64_t v = 0;
+    PDMM_ASSERT_MSG(parse_u64_strict(it->second, v) == ParseNum::kOk,
+                    "malformed benchmark override value");
+    return v;
   }
   return opt_.smoke ? smoke : full;
 }
@@ -467,7 +485,10 @@ double Ctx::f64(const std::string& name, double full, double smoke) {
   const auto it = opt_.overrides.find(name);
   if (it != opt_.overrides.end()) {
     consumed_[name] = true;
-    return std::strtod(it->second.c_str(), nullptr);
+    double v = 0;
+    PDMM_ASSERT_MSG(parse_f64_strict(it->second, v) == ParseNum::kOk,
+                    "malformed benchmark override value");
+    return v;
   }
   return opt_.smoke ? smoke : full;
 }

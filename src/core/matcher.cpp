@@ -809,6 +809,12 @@ DynamicMatcher::BatchResult DynamicMatcher::update_by_endpoints(
 DynamicMatcher::BatchResult DynamicMatcher::update(
     std::span<const EdgeId> deletions,
     std::span<const std::vector<Vertex>> insertions) {
+  // Single-updater contract: exactly one thread drives updates at a time
+  // (the class has no internal locking), so the calling thread holds the
+  // updater role by construction. This assertion is the trust boundary
+  // that lets the analysis check the updater-only state below (the
+  // post-batch hook slot) without annotating every update() caller.
+  updater_role_.assert_held();
   BatchResult res;
   const CostCounters cost_before = cost_;
   const uint64_t rebuilds_before = stats_.rebuilds;

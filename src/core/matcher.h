@@ -47,6 +47,8 @@
 #include "parallel/cost_model.h"
 #include "parallel/thread_pool.h"
 #include "util/indexed_set.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/rng.h"
 #include "util/small_vector.h"
 
@@ -178,9 +180,25 @@ class DynamicMatcher {
   // the batch's result — on the updater thread. One hook at a time; pass
   // nullptr to detach. MatchViewService uses this to publish a fresh view
   // per batch without the driver having to remember to.
+  //
+  // Hook registration is updater-thread-only (the hook slot is plain
+  // state read by update()): the REQUIRES annotation makes every
+  // registration site name the updater role explicitly.
   using PostBatchHook = std::function<void(const BatchResult&)>;
-  void set_post_batch_hook(PostBatchHook hook) {
+  void set_post_batch_hook(PostBatchHook hook) PDMM_REQUIRES(updater_role_) {
     post_batch_hook_ = std::move(hook);
+  }
+
+  // The single-updater capability: update()/update_by_endpoints(), hook
+  // registration, and every other mutating entry point belong to one
+  // logical updater thread at a time (the class has no internal locking).
+  // update() asserts the role at entry — the documented trust boundary —
+  // so code that merely drives updates needs no annotation; code that
+  // touches updater-only state directly (the hook slot) must carry
+  // PDMM_REQUIRES(updater_role()) and is machine-checked under `tidy`.
+  const ThreadRole& updater_role() const
+      PDMM_RETURN_CAPABILITY(updater_role_) {
+    return updater_role_;
   }
 
   const Config& config() const { return cfg_; }
@@ -461,7 +479,8 @@ class DynamicMatcher {
 
   Scratch scratch_;
 
-  PostBatchHook post_batch_hook_;
+  ThreadRole updater_role_;
+  PostBatchHook post_batch_hook_ PDMM_GUARDED_BY(updater_role_);
 
   MatcherStats stats_;
   EpochStats epochs_;

@@ -85,6 +85,8 @@ class PhaseDict {
     parallel_for_blocks(pool, cap, grain, [&](size_t blk, size_t b, size_t e) {
       auto& out = per_block[blk];
       for (size_t i = b; i < e; ++i) {
+        // mo: relaxed — retrieve is its own phase; all mutating phases
+        // completed before the pool barrier that launched this one.
         const uint64_t k = keys_[i].load(std::memory_order_relaxed);
         if (k != kEmpty && k != kTomb) out.emplace_back(k, vals_[i]);
       }
@@ -102,6 +104,10 @@ class PhaseDict {
     PDMM_DASSERT(key < kTomb);
     size_t i = slot(key);
     while (true) {
+      // mo: acquire — pairs with insert_one's acq_rel CAS so a hit also
+      // sees vals_[i]... except for same-phase insert/lookup races, which
+      // the phase-concurrent discipline forbids; acquire keeps the serial
+      // (cross-phase, single-threaded) path correct without a barrier.
       const uint64_t k = keys_[i].load(std::memory_order_acquire);
       if (k == key) return &vals_[i];
       if (k == kEmpty) return nullptr;
@@ -134,6 +140,8 @@ class PhaseDict {
   void init(size_t expected) {
     const size_t cap = next_pow2(std::max<size_t>(16, expected * 2));
     keys_ = std::vector<std::atomic<uint64_t>>(cap);
+    // mo: relaxed — init/rebuild runs single-threaded between phases; the
+    // next phase's pool barrier publishes the cleared table.
     for (auto& k : keys_) k.store(kEmpty, std::memory_order_relaxed);
     vals_.assign(cap, Value{});
     mask_ = cap - 1;
@@ -147,8 +155,13 @@ class PhaseDict {
     PDMM_DASSERT(key < kTomb);
     size_t i = slot(key);
     while (true) {
+      // mo: relaxed — optimistic probe; the CAS below re-validates the
+      // slot, so a stale read only costs a retry.
       uint64_t k = keys_[i].load(std::memory_order_relaxed);
       if (k == kEmpty || k == kTomb) {
+        // mo: acq_rel — release publishes the claim to same-phase probers
+        // pushed past this slot; acquire orders the subsequent vals_ write
+        // after the claim (lookups of this key happen in a later phase).
         if (keys_[i].compare_exchange_strong(k, key,
                                              std::memory_order_acq_rel)) {
           vals_[i] = v;
@@ -165,9 +178,13 @@ class PhaseDict {
   void erase_one(uint64_t key) {
     size_t i = slot(key);
     while (true) {
+      // mo: relaxed — erase-only phase: keys are immutable during it (only
+      // key→tombstone transitions happen, and each key is erased once).
       const uint64_t k = keys_[i].load(std::memory_order_relaxed);
       PDMM_ASSERT_MSG(k != kEmpty, "PhaseDict::erase of absent key");
       if (k == key) {
+        // mo: release — conservative publish of the tombstone; readers run
+        // in a later phase behind the pool barrier.
         keys_[i].store(kTomb, std::memory_order_release);
         return;
       }
@@ -189,6 +206,7 @@ class PhaseDict {
     std::vector<std::pair<uint64_t, Value>> entries;
     entries.reserve(live_);
     for (size_t i = 0; i < keys_.size(); ++i) {
+      // mo: relaxed — rebuild runs single-threaded between phases.
       const uint64_t k = keys_[i].load(std::memory_order_relaxed);
       if (k != kEmpty && k != kTomb) entries.emplace_back(k, vals_[i]);
     }

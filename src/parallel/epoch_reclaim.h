@@ -62,6 +62,10 @@ class EpochSlots {
     PDMM_DASSERT(epoch != kIdle);
     for (size_t i = 0; i < capacity_; ++i) {
       uint64_t expected = kIdle;
+      // mo: seq_cst — the pin store must be ordered against the writer's
+      // slot scan and pointer publication in one total order; the safety
+      // argument in the file comment is a case analysis over that order
+      // and does not hold under acq_rel.
       if (slots_[i].pinned.compare_exchange_strong(
               expected, epoch, std::memory_order_seq_cst)) {
         return i;
@@ -75,7 +79,11 @@ class EpochSlots {
   // writer's next scan before the object becomes reclaimable.
   void unpin(size_t slot) {
     PDMM_DASSERT(slot < capacity_);
+    // mo: relaxed — debug-only self-check of this thread's own slot.
     PDMM_DASSERT(slots_[slot].pinned.load(std::memory_order_relaxed) != kIdle);
+    // mo: seq_cst — the unpin must order after every read the owner made
+    // through the protected pointer, and sit in the same total order the
+    // writer's scan observes (file comment's argument).
     slots_[slot].pinned.store(kIdle, std::memory_order_seq_cst);
   }
 
@@ -86,6 +94,8 @@ class EpochSlots {
   uint64_t min_pinned() const {
     uint64_t min = kIdle;
     for (size_t i = 0; i < capacity_; ++i) {
+      // mo: seq_cst — the scan's loads anchor the total-order case
+      // analysis against concurrent pins (file comment).
       const uint64_t p = slots_[i].pinned.load(std::memory_order_seq_cst);
       if (p < min) min = p;
     }
@@ -96,6 +106,7 @@ class EpochSlots {
   size_t active() const {
     size_t n = 0;
     for (size_t i = 0; i < capacity_; ++i) {
+      // mo: relaxed — diagnostic snapshot, inherently racy by contract.
       n += slots_[i].pinned.load(std::memory_order_relaxed) != kIdle;
     }
     return n;

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned num_threads, bool allow_oversubscribe) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
   }
   job_cv_.notify_all();
@@ -57,14 +57,20 @@ void ThreadPool::run_blocked(size_t n, size_t grain,
                   "run_blocked: chunk count exceeds the claim-word capacity");
   uint32_t epoch32;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     body_ = &body;
     job_n_ = n;
     job_grain_ = grain;
     job_chunks_ = chunks;
+    // mo: relaxed — the release store of claim_ below publishes this zero
+    // (and the descriptor fields, via the mutex) before any participant
+    // can claim a chunk of the new job.
     done_chunks_.store(0, std::memory_order_relaxed);
     ++job_epoch_;
     epoch32 = static_cast<uint32_t>(job_epoch_);
+    // mo: release — pairs with the acquire load in work_on_job; a
+    // participant that observes the new epoch in the claim word must also
+    // observe the descriptor fields written above.
     claim_.store((static_cast<uint64_t>(epoch32) << 32) | chunks,
                  std::memory_order_release);
   }
@@ -83,20 +89,40 @@ void ThreadPool::run_blocked(size_t n, size_t grain,
   // Wait until every chunk has been *executed*. Workers that hold no chunk
   // are irrelevant here — only claimed-but-unfinished chunks keep the
   // region open.
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [this] {
-    return done_chunks_.load(std::memory_order_acquire) == job_chunks_;
-  });
+  MutexLock lk(mu_);
+  // mo: acquire — pairs with the acq_rel fetch_add in work_on_job so the
+  // coordinator observes every write the chunk bodies made before their
+  // completion was counted.
+  while (done_chunks_.load(std::memory_order_acquire) != job_chunks_) {
+    done_cv_.wait(mu_);
+  }
   body_ = nullptr;
 }
 
-void ThreadPool::work_on_job(uint32_t epoch32) {
+// tsa: deliberately lock-free — participants read the job descriptor
+// (body_, job_n_, job_grain_, job_chunks_) without holding mu_. This is
+// safe because (a) the descriptor is written under mu_ *before* the
+// coordinator's claim_.store(release) publishes the job, (b) a read here
+// happens only behind a successful CAS on claim_ whose acquire load
+// observed that epoch, establishing happens-before with the writes, and
+// (c) a successful claim implies the job is incomplete, so the
+// coordinator is pinned inside run_blocked and cannot be overwriting the
+// fields for a next job (it first waits for done_chunks_ == job_chunks_).
+void ThreadPool::work_on_job(uint32_t epoch32)
+    PDMM_NO_THREAD_SAFETY_ANALYSIS {
   in_parallel_region_ = true;
   while (true) {
+    // mo: acquire — observing the current epoch here must also make the
+    // job descriptor writes (published by the paired release store in
+    // run_blocked) visible before the claimed chunk dereferences them.
     uint64_t cur = claim_.load(std::memory_order_acquire);
     bool claimed = false;
     size_t remaining = 0;
     while ((cur >> 32) == epoch32 && (remaining = cur & 0xffffffffull) != 0) {
+      // mo: acq_rel on success — the decrement both takes ownership of
+      // chunk `remaining-1` (release: no later claimant may see a stale
+      // descriptor) and re-validates the epoch (acquire). Failure reloads
+      // with acquire for the same reason as the initial load.
       if (claim_.compare_exchange_weak(cur, cur - 1,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
@@ -116,11 +142,15 @@ void ThreadPool::work_on_job(uint32_t epoch32) {
     const size_t begin = k * job_grain_;
     const size_t end = std::min(begin + job_grain_, job_n_);
     (*body_)(begin, end);
+    // mo: acq_rel — release publishes this chunk body's writes to the
+    // coordinator's paired acquire load in run_blocked; acquire orders
+    // this thread's view behind the other chunks' completions so the
+    // last-chunk detection below is exact.
     if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
       // Last chunk executed: release the coordinator. Taking the lock
       // orders this notify after the coordinator parks (or before it
       // evaluates the predicate), so the wakeup cannot be lost.
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       done_cv_.notify_all();
     }
   }
@@ -132,8 +162,8 @@ void ThreadPool::worker_loop(unsigned /*tid*/) {
   while (true) {
     uint32_t epoch32;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      job_cv_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      MutexLock lk(mu_);
+      while (!shutdown_ && job_epoch_ == seen_epoch) job_cv_.wait(mu_);
       if (shutdown_) return;
       seen_epoch = job_epoch_;
       epoch32 = static_cast<uint32_t>(seen_epoch);

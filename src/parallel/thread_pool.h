@@ -22,15 +22,22 @@
 // The pool is the single scheduling substrate for every parallel primitive
 // in pdmm (parallel_for, scan, pack, sort, the dictionary's batch ops, and
 // all phases of the dynamic matcher).
+//
+// Thread-safety contract (machine-checked under the `tidy` preset): the
+// job descriptor fields are guarded by mu_ for the coordinator/worker
+// handshake; the one deliberate lock-free access path — participants
+// reading the descriptor behind a successful claim — is confined to
+// work_on_job(), which carries the documented analysis exemption.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pdmm {
 
@@ -56,9 +63,12 @@ class ThreadPool {
   // [0, n): every chunk is [k*grain, min((k+1)*grain, n)) for some k.
   // Blocks until all chunks complete. Reentrant calls from inside a
   // parallel region execute serially (no nested parallelism; the
-  // algorithms in this library never need it).
+  // algorithms in this library never need it). Callers must not hold mu_
+  // (they cannot — it is private — but the annotation also catches
+  // accidental re-entry from future pool-internal code).
   void run_blocked(size_t n, size_t grain,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body)
+      PDMM_EXCLUDES(mu_);
 
   // A process-wide default pool (lazily constructed with hardware
   // concurrency). Library entry points take an explicit pool; this default
@@ -66,31 +76,34 @@ class ThreadPool {
   static ThreadPool& default_pool();
 
  private:
-  void worker_loop(unsigned tid);
+  void worker_loop(unsigned tid) PDMM_EXCLUDES(mu_);
   void work_on_job(uint32_t epoch32);
 
   unsigned num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar job_cv_;
+  CondVar done_cv_;
 
   // Job description. Written under mu_ by the coordinator before the claim
   // word publishes the job; read by participants only behind a successful
   // claim of that job's epoch (or, for workers, after observing the epoch
-  // advance under mu_), so the plain fields race with nothing.
-  const std::function<void(size_t, size_t)>* body_ = nullptr;
-  size_t job_n_ = 0;
-  size_t job_grain_ = 1;
-  size_t job_chunks_ = 0;
+  // advance under mu_), so the plain fields race with nothing. The
+  // GUARDED_BY annotations cover every access except the claim-protected
+  // reads inside work_on_job(), which is the single documented exemption.
+  const std::function<void(size_t, size_t)>* body_ PDMM_GUARDED_BY(mu_) =
+      nullptr;
+  size_t job_n_ PDMM_GUARDED_BY(mu_) = 0;
+  size_t job_grain_ PDMM_GUARDED_BY(mu_) = 1;
+  size_t job_chunks_ PDMM_GUARDED_BY(mu_) = 0;
   // (epoch32 << 32) | remaining-chunk count. Claims decrement the low half;
   // chunk k = remaining - 1 is executed as [k*grain, ...). A mismatched
   // epoch or a zero count means "nothing to claim here".
   std::atomic<uint64_t> claim_{0};
   std::atomic<size_t> done_chunks_{0};
-  uint64_t job_epoch_ = 0;  // full-width, guarded by mu_
-  bool shutdown_ = false;
+  uint64_t job_epoch_ PDMM_GUARDED_BY(mu_) = 0;  // full-width
+  bool shutdown_ PDMM_GUARDED_BY(mu_) = false;
   static thread_local bool in_parallel_region_;
 };
 

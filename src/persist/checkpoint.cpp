@@ -41,10 +41,12 @@ void write_section(std::ostream& out, const char* name,
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
-std::string meta_payload(const DynamicMatcher& m) {
+std::string meta_payload(const DynamicMatcher& m,
+                         const std::string& stream_fp) {
   const Config& cfg = m.config();
   std::ostringstream os;
   os << "epoch " << m.batch_epoch() << '\n';
+  if (!stream_fp.empty()) os << "stream " << stream_fp << '\n';
   os << "rank " << cfg.max_rank << '\n';
   os << "seed " << cfg.seed << '\n';
   os << "initial_capacity " << cfg.initial_capacity << '\n';
@@ -89,6 +91,11 @@ uint64_t CheckpointData::epoch() const {
   return e;
 }
 
+std::string CheckpointData::stream() const {
+  const auto it = meta.find("stream");
+  return it == meta.end() ? std::string() : it->second;
+}
+
 bool CheckpointData::config(Config& out) const {
   uint64_t rank = 0, seed = 0, cap = 0, rebuild = 0, eager = 0, sweeps = 0,
            iter = 0, repeats = 0, stats = 0;
@@ -117,13 +124,16 @@ bool CheckpointData::config(Config& out) const {
 }
 
 bool write_checkpoint(std::ostream& out, const DynamicMatcher& m,
-                      std::string* error) {
+                      std::string* error, const std::string& stream_fp) {
+  if (stream_fp.find('\n') != std::string::npos) {
+    return set_error(error, "stream fingerprint must be a single line");
+  }
   std::ostringstream snap;
   if (!m.save(snap)) {
     return set_error(error, "serializing the snapshot failed");
   }
   out << kMagic << '\n';
-  write_section(out, "meta", meta_payload(m));
+  write_section(out, "meta", meta_payload(m, stream_fp));
   write_section(out, "snap", std::move(snap).str());
   out << "end\n";
   out.flush();
@@ -217,14 +227,15 @@ bool read_checkpoint(std::istream& in, CheckpointData& out,
 }
 
 bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
-                           std::string* error, bool durable) {
+                           std::string* error, bool durable,
+                           const std::string& stream_fp) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return set_error(error, "cannot open " + tmp + " for writing");
     }
-    if (!write_checkpoint(out, m, error)) {
+    if (!write_checkpoint(out, m, error, stream_fp)) {
       out.close();
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
@@ -303,10 +314,13 @@ std::vector<std::pair<uint64_t, std::string>> list_checkpoints(
 
 bool write_checkpoint_series(const std::string& prefix,
                              const DynamicMatcher& m, size_t keep,
-                             std::string* error, bool durable) {
+                             std::string* error, bool durable,
+                             const std::string& stream_fp) {
   const uint64_t epoch = m.batch_epoch();
   const std::string path = prefix + "." + std::to_string(epoch);
-  if (!write_checkpoint_file(path, m, error, durable)) return false;
+  if (!write_checkpoint_file(path, m, error, durable, stream_fp)) {
+    return false;
+  }
   // The just-written epoch is the series head: files claiming a *newer*
   // epoch cannot belong to this server's lineage (its epochs only grow
   // through this function) — they are strays from a superseded run that

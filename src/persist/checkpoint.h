@@ -48,6 +48,10 @@ struct CheckpointData {
 
   // meta["epoch"] parsed; 0 when absent/malformed.
   uint64_t epoch() const;
+  // meta["stream"]: fingerprint of the update stream the checkpointed run
+  // consumed (empty when none was recorded). Recovery refuses a state
+  // whose fingerprint disagrees with the restarting server's stream.
+  std::string stream() const;
   // Reconstructs the Config the checkpointed matcher ran with. False when
   // a required field is missing or malformed (check_invariants is not
   // persisted; it stays at its default).
@@ -55,9 +59,12 @@ struct CheckpointData {
 };
 
 // Serializes matcher state + meta into `out`. False (with *error) when the
-// stream failed — the written bytes must then be discarded.
+// output stream failed — the written bytes must then be discarded.
+// `stream_fp`, when non-empty, is recorded as the "stream" meta entry (one
+// line; must not contain '\n').
 bool write_checkpoint(std::ostream& out, const DynamicMatcher& m,
-                      std::string* error);
+                      std::string* error,
+                      const std::string& stream_fp = "");
 
 // Parses and validates one checkpoint (section framing, lengths, CRCs).
 // On failure `out` is unspecified and *error names the problem.
@@ -71,7 +78,8 @@ bool read_checkpoint(std::istream& in, CheckpointData& out,
 // OS crashes and power loss (pdmm_serve's --fsync selects this for both
 // journal records and checkpoints).
 bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
-                           std::string* error, bool durable = false);
+                           std::string* error, bool durable = false,
+                           const std::string& stream_fp = "");
 bool read_checkpoint_file(const std::string& path, CheckpointData& out,
                           std::string* error);
 
@@ -87,7 +95,8 @@ bool read_checkpoint_meta_file(const std::string& path, CheckpointData& out,
 // most `keep` remain. False on write failure (pruning best-effort).
 bool write_checkpoint_series(const std::string& prefix,
                              const DynamicMatcher& m, size_t keep,
-                             std::string* error, bool durable = false);
+                             std::string* error, bool durable = false,
+                             const std::string& stream_fp = "");
 
 // All existing "<prefix>.<epoch>" files, newest epoch first. Files whose
 // suffix is not a plain decimal epoch are ignored (including .tmp strays).

@@ -43,10 +43,13 @@ std::string encode_record(uint64_t epoch, const Batch& b) {
   return std::move(rec).str();
 }
 
-}  // namespace
-
-JournalScan scan_journal(const std::string& path, bool keep_records,
-                         uint64_t keep_after) {
+// Shared scan core. Exactly one consumer shape per call: either records
+// are retained into out.records (keep_records/keep_after) or every record
+// streams through `sink` with nothing retained.
+JournalScan scan_journal_impl(const std::string& path, bool keep_records,
+                              uint64_t keep_after,
+                              const JournalRecordSink* sink,
+                              const JournalHeaderHook* on_header) {
   JournalScan out;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -83,6 +86,39 @@ JournalScan scan_journal(const std::string& path, bool keep_records,
   }
   out.ok = true;
   out.valid_bytes = static_cast<uint64_t>(in.tellg());
+
+  // Optional `stream <fingerprint>` line, written at creation right after
+  // the magic. A torn stream line is handled like a torn header: nothing
+  // durable can follow it (it precedes every record), so the whole file
+  // rewrites from scratch.
+  {
+    const std::streampos after_header = in.tellg();
+    if (std::getline(in, line)) {
+      const bool stream_unterminated = in.eof();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.rfind("stream ", 0) == 0) {
+        if (stream_unterminated) {
+          out.truncated_tail = true;
+          out.valid_bytes = 0;
+          out.tail_error = path + ": journal stream line missing its newline";
+          return out;
+        }
+        out.stream = line.substr(7);
+        out.valid_bytes = static_cast<uint64_t>(in.tellg());
+      } else {
+        in.clear();
+        in.seekg(after_header);
+      }
+    } else {
+      in.clear();
+      in.seekg(after_header);
+    }
+  }
+  if (on_header && *on_header && !(*on_header)(out.stream)) {
+    out.ok = false;
+    out.error = path + ": journal header rejected by the caller";
+    return out;
+  }
 
   // Distinguishes a crash tail from mid-file rot: after the first invalid
   // record, an intact record further on means durable data lies BEYOND
@@ -189,7 +225,14 @@ JournalScan scan_journal(const std::string& path, bool keep_records,
                   ")";
       return out;
     }
-    if (keep_records && epoch > keep_after) {
+    if (sink) {
+      if (!(*sink)(JournalRecord{epoch, std::move(batches.front())})) {
+        out.ok = false;
+        out.error = path + ": record sink aborted the scan at epoch " +
+                    epoch_tok;
+        return out;
+      }
+    } else if (keep_records && epoch > keep_after) {
       out.records.push_back({epoch, std::move(batches.front())});
     }
     ++out.record_count;
@@ -197,6 +240,20 @@ JournalScan scan_journal(const std::string& path, bool keep_records,
     out.valid_bytes = static_cast<uint64_t>(in.tellg());
   }
   return out;
+}
+
+}  // namespace
+
+JournalScan scan_journal(const std::string& path, bool keep_records,
+                         uint64_t keep_after) {
+  return scan_journal_impl(path, keep_records, keep_after, nullptr, nullptr);
+}
+
+JournalScan scan_journal_streamed(const std::string& path,
+                                  const JournalRecordSink& sink,
+                                  const JournalHeaderHook& on_header) {
+  return scan_journal_impl(path, /*keep_records=*/false, /*keep_after=*/0,
+                           &sink, &on_header);
 }
 
 std::unique_ptr<Journal> Journal::open(const std::string& path, Options opt,
@@ -211,6 +268,19 @@ std::unique_ptr<Journal> Journal::open_scanned(const std::string& path,
                                                std::string* error) {
   if (!scan.ok) {
     if (error) *error = scan.error;
+    return nullptr;
+  }
+  if (opt.stream.find('\n') != std::string::npos) {
+    if (error) *error = "journal stream fingerprint must be a single line";
+    return nullptr;
+  }
+  if (!opt.stream.empty() && !scan.stream.empty() &&
+      opt.stream != scan.stream) {
+    if (error) {
+      *error = path + ": journal was recorded from a different update "
+               "stream (journal: \"" + scan.stream + "\", this run: \"" +
+               opt.stream + "\"); appending would corrupt the lineage";
+    }
     return nullptr;
   }
   const bool fresh = scan.valid_bytes == 0;
@@ -231,7 +301,9 @@ std::unique_ptr<Journal> Journal::open_scanned(const std::string& path,
     return nullptr;
   }
   if (fresh) {
-    if (std::fputs(kMagic, f) == EOF || std::fputc('\n', f) == EOF ||
+    std::string header = std::string(kMagic) + "\n";
+    if (!opt.stream.empty()) header += "stream " + opt.stream + "\n";
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
         std::fflush(f) != 0) {
       if (error) *error = "cannot write journal header to " + path;
       std::fclose(f);
@@ -239,6 +311,8 @@ std::unique_ptr<Journal> Journal::open_scanned(const std::string& path,
     }
   }
   return std::unique_ptr<Journal>(
+      // lint:allow(raw-alloc) private ctor — make_unique can't reach it;
+      // ownership transfers to the unique_ptr on the same line.
       new Journal(f, scan.last_epoch, scan.truncated_tail, opt));
 }
 

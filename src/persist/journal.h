@@ -5,9 +5,17 @@
 // log holds every durable batch and at most one torn tail:
 //
 //   pdmm-journal v1
+//   stream <fingerprint>            (optional, written at creation)
 //   rec <epoch> <nbytes> <crc32>
 //   <payload: the batch in trace op encoding (write_batch), nbytes bytes>
 //   rec ...
+//
+// The optional `stream` line names the update stream this log was recorded
+// from (a trace-file hash or the generator's parameters). Re-opening for
+// append with a different fingerprint is refused, and recovery refuses to
+// replay a journal whose fingerprint disagrees with the caller's stream or
+// with the checkpoint's recorded one — restarting a server with different
+// stream flags must fail loudly instead of diverging from epoch N on.
 //
 // The payload reuses the trace format of src/workload/trace.* verbatim
 // (d/i op lines + the `b` boundary), so a journal replays through the
@@ -30,10 +38,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "workload/generators.h"
 
 namespace pdmm::persist {
@@ -48,6 +59,7 @@ struct JournalScan {
   bool ok = false;          // header readable and valid
   std::string error;        // why ok is false
   std::vector<JournalRecord> records;  // the durable prefix (when retained)
+  std::string stream;        // header fingerprint (empty: none recorded)
   size_t record_count = 0;   // durable records validated
   uint64_t last_epoch = 0;   // epoch of the last durable record (0: none)
   uint64_t valid_bytes = 0;  // file offset just past the last durable record
@@ -66,6 +78,26 @@ struct JournalScan {
 JournalScan scan_journal(const std::string& path, bool keep_records = true,
                          uint64_t keep_after = 0);
 
+// Streaming variant: every durable record is handed to `sink` as it
+// validates, and nothing is retained — the scan runs in O(1 record)
+// memory however long the log is (recovery replays a journal-only restart
+// this way instead of materializing the whole history). The sink may
+// return false to abort, which fails the scan (ok = false) after the
+// records already delivered; record_count/last_epoch/valid_bytes then
+// describe the delivered prefix, not the durable one.
+//
+// `on_header`, when set, fires once after the header parses and before
+// any record is delivered, with the header's stream fingerprint (empty
+// when none is recorded); returning false aborts the scan before the
+// sink sees a single record — the hook recovery uses to refuse a
+// wrong-stream journal before mutating any state. It does not fire for
+// an empty/torn-header file (there is no header, and no records follow).
+using JournalRecordSink = std::function<bool(JournalRecord&&)>;
+using JournalHeaderHook = std::function<bool(const std::string& stream)>;
+JournalScan scan_journal_streamed(const std::string& path,
+                                  const JournalRecordSink& sink,
+                                  const JournalHeaderHook& on_header = {});
+
 // Append handle. Opening scans existing content, truncates a torn tail,
 // and positions at the end; a fresh/empty file gets the header.
 class Journal {
@@ -74,6 +106,12 @@ class Journal {
     // fsync after every record (FULL durability against OS crashes) vs
     // flush-only (durable against process death, the common case).
     bool fsync_each = false;
+    // Fingerprint of the update stream feeding this journal. Non-empty:
+    // written into a fresh journal's header, and an existing journal
+    // recorded under a DIFFERENT fingerprint refuses to open (appending
+    // another stream's batches would corrupt the lineage). Empty: no
+    // check (and a fresh journal records none). Must not contain '\n'.
+    std::string stream;
   };
 
   // nullptr + *error when the file exists but is not a valid journal (we
@@ -97,11 +135,28 @@ class Journal {
   // anything > 0 for the first record of a fresh log). False (with
   // *error) on ordering violations and I/O failures; after an I/O failure
   // the journal must be considered broken and no further appends made.
-  bool append(uint64_t epoch, const Batch& b, std::string* error);
+  //
+  // Single-appender contract, machine-checked: append() and the frontier
+  // accessors require the appender role — the thread that owns the WAL
+  // (pdmm_serve's updater) asserts it once where the contract is
+  // established; any new code path touching the write frontier without
+  // the role is a compile error under the `tidy` preset.
+  bool append(uint64_t epoch, const Batch& b, std::string* error)
+      PDMM_REQUIRES(appender_role_);
 
-  uint64_t last_epoch() const { return last_epoch_; }
-  uint64_t records_appended() const { return appended_; }
+  uint64_t last_epoch() const PDMM_REQUIRES(appender_role_) {
+    return last_epoch_;
+  }
+  uint64_t records_appended() const PDMM_REQUIRES(appender_role_) {
+    return appended_;
+  }
   bool tail_was_truncated() const { return tail_truncated_; }
+
+  // The single-appender capability guarding the write frontier.
+  const ThreadRole& appender_role() const
+      PDMM_RETURN_CAPABILITY(appender_role_) {
+    return appender_role_;
+  }
 
  private:
   Journal(std::FILE* f, uint64_t last_epoch, bool tail_truncated,
@@ -112,9 +167,10 @@ class Journal {
         opt_(opt) {}
 
   std::FILE* f_;
-  uint64_t last_epoch_;
-  uint64_t appended_ = 0;
-  bool tail_truncated_;
+  ThreadRole appender_role_;
+  uint64_t last_epoch_ PDMM_GUARDED_BY(appender_role_);
+  uint64_t appended_ PDMM_GUARDED_BY(appender_role_) = 0;
+  bool tail_truncated_;  // immutable after open
   Options opt_;
 };
 

@@ -18,6 +18,7 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
   // 1. Newest checkpoint that validates end-to-end (container checksums
   // AND the snapshot loader's own verification).
   std::string last_error;
+  std::string ck_stream;  // fingerprint the accepted checkpoint recorded
   if (!opt.checkpoint_prefix.empty()) {
     for (const auto& [epoch, path] : list_checkpoints(opt.checkpoint_prefix)) {
       CheckpointData ck;
@@ -26,6 +27,17 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
         ++rep.skipped_checkpoints;
         last_error = err;
         continue;
+      }
+      // Like a Config mismatch, a stream-fingerprint mismatch on a
+      // CRC-valid checkpoint is operator error (restarted against a
+      // different trace/generator), not damage — skipping to an older
+      // checkpoint of the same wrong lineage cannot help. Hard stop.
+      if (!opt.expected_stream.empty() && !ck.stream().empty() &&
+          ck.stream() != opt.expected_stream) {
+        rep.error = path + ": checkpoint was recorded from a different "
+                    "update stream (checkpoint: \"" + ck.stream() +
+                    "\", this run: \"" + opt.expected_stream + "\")";
+        return rep;
       }
       // A CRC-valid checkpoint whose recorded Config disagrees with the
       // matcher's is operator error (restarted with different flags), not
@@ -69,6 +81,7 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
       }
       rep.checkpoint_path = path;
       rep.checkpoint_epoch = epoch;
+      ck_stream = ck.stream();
       break;
     }
     if (rep.checkpoint_path.empty() && opt.journal_path.empty()) {
@@ -80,25 +93,102 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
     }
   }
 
-  // 2. + 3. Journal tail replay. Without a checkpoint the matcher is
-  // empty (epoch 0) and the journal must start at epoch 1. Records at or
-  // below the checkpoint epoch are validated but never retained, so with
-  // a checkpoint recovery memory is O(tail past it); journal-only
-  // recovery necessarily materializes the whole log before replaying
-  // (streaming replay during the scan is a possible future refinement).
+  // 2. + 3. Journal tail replay, streamed: every durable record is
+  // validated and applied DURING the scan (scan_journal_streamed), so
+  // recovery memory is O(1 record) regardless of log length — including
+  // journal-only recovery, which replays the whole history. The price is
+  // that a journal invalid beyond the tail (mid-file rot, epoch gap)
+  // fails recovery with the matcher already mid-replay; the contract
+  // already leaves the matcher unspecified on failure, and a caller that
+  // retries must construct a fresh one.
   if (!opt.journal_path.empty()) {
     const uint64_t base = rep.checkpoint_epoch;
+    bool seen_first = false;
+    std::string sink_error;
+    const JournalRecordSink sink = [&](JournalRecord&& rec) {
+      if (!seen_first) {
+        seen_first = true;
+        // Contiguity with the checkpoint: the journal's first record must
+        // not start past base + 1, or batches between checkpoint and
+        // journal have been lost.
+        if (rec.epoch > base + 1) {
+          sink_error = "journal starts at epoch " +
+                       std::to_string(rec.epoch) +
+                       " but the checkpoint only reaches " +
+                       std::to_string(base) + " (records lost)";
+          return false;
+        }
+      }
+      if (rec.epoch <= base) return true;  // already inside the checkpoint
+      // A record that does not apply to this state (deleting an edge the
+      // matcher does not have, inserting past its rank) means the journal
+      // belongs to a different run than the checkpoint; update() would
+      // assert on it, so reject it here instead. The guards stop at what
+      // would abort: an insertion duplicating a present edge is NOT
+      // treated as mismatch evidence, because it is well-defined batch
+      // semantics (update() skips it deterministically) that a legitimate
+      // run's journal may contain — rejecting it would refuse valid logs.
+      for (const auto& eps : rec.batch.deletions) {
+        // Bound the rank before find_edge — the registry lookup itself
+        // asserts on an over-rank endpoint list.
+        if (eps.empty() || eps.size() > m.config().max_rank ||
+            m.find_edge(eps) == kNoEdge) {
+          sink_error = "journal record " + std::to_string(rec.epoch) +
+                       " deletes an edge this state does not contain "
+                       "(journal does not match the checkpoint)";
+          return false;
+        }
+      }
+      for (const auto& eps : rec.batch.insertions) {
+        if (eps.empty() || eps.size() > m.config().max_rank) {
+          sink_error = "journal record " + std::to_string(rec.epoch) +
+                       " inserts an edge outside this matcher's rank";
+          return false;
+        }
+      }
+      m.update_by_endpoints(rec.batch.deletions, rec.batch.insertions);
+      if (m.batch_epoch() != rec.epoch) {
+        sink_error = "replay diverged: matcher reached epoch " +
+                     std::to_string(m.batch_epoch()) +
+                     " applying journal record " + std::to_string(rec.epoch);
+        return false;
+      }
+      ++rep.replayed_batches;
+      return true;
+    };
+    // Fingerprint checks run in the header hook, BEFORE a single record
+    // is replayed: a wrong-stream journal must be refused with the
+    // recovered checkpoint state untouched. Disagreement with the
+    // caller's stream or with the checkpoint's recorded one is operator
+    // error, not damage.
+    const JournalHeaderHook on_header = [&](const std::string& js) {
+      if (js.empty()) return true;  // nothing recorded: nothing to check
+      if (!opt.expected_stream.empty() && js != opt.expected_stream) {
+        sink_error = opt.journal_path + ": journal was recorded from a "
+                     "different update stream (journal: \"" + js +
+                     "\", this run: \"" + opt.expected_stream + "\")";
+        return false;
+      }
+      if (!ck_stream.empty() && js != ck_stream) {
+        sink_error = "checkpoint and journal record different update "
+                     "streams (checkpoint: \"" + ck_stream +
+                     "\", journal: \"" + js +
+                     "\"); not the same run's lineage";
+        return false;
+      }
+      return true;
+    };
     const JournalScan scan =
-        scan_journal(opt.journal_path, /*keep_records=*/true,
-                     /*keep_after=*/base);
+        scan_journal_streamed(opt.journal_path, sink, on_header);
     if (!scan.ok) {
-      rep.error = scan.error;
+      rep.error = sink_error.empty() ? scan.error : sink_error;
       return rep;
     }
     rep.journal_tail_truncated = scan.truncated_tail;
     rep.journal_scanned = true;
     rep.journal_valid_bytes = scan.valid_bytes;
     rep.journal_last_epoch = scan.last_epoch;
+    rep.journal_stream = scan.stream;
     if (rep.checkpoint_path.empty() && rep.skipped_checkpoints > 0 &&
         scan.record_count == 0) {
       // Every checkpoint is damaged and the journal holds nothing: an
@@ -108,15 +198,6 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
       return rep;
     }
     if (scan.record_count != 0) {
-      // Records are contiguous (scan enforces it), so the journal's first
-      // epoch is derivable from the retained-independent counters.
-      const uint64_t first = scan.last_epoch - scan.record_count + 1;
-      if (first > base + 1) {
-        rep.error = "journal starts at epoch " + std::to_string(first) +
-                    " but the checkpoint only reaches " +
-                    std::to_string(base) + " (records lost)";
-        return rep;
-      }
       if (scan.last_epoch < base) {
         // A checkpoint is written only after its covering journal record
         // flushed, so within the process-kill durability model the
@@ -136,46 +217,9 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
                     "the checkpoint's";
         return rep;
       }
-      if (scan.last_epoch > base) {
-        for (const JournalRecord& rec : scan.records) {
-          // A record that does not apply to this state (deleting an edge
-          // the matcher does not have, inserting past its rank) means the
-          // journal belongs to a different run than the checkpoint;
-          // update() would assert on it, so reject it here instead. The
-          // guards stop at what would abort: an insertion duplicating a
-          // present edge is NOT treated as mismatch evidence, because it
-          // is well-defined batch semantics (update() skips it
-          // deterministically) that a legitimate run's journal may
-          // contain — rejecting it would refuse valid logs.
-          for (const auto& eps : rec.batch.deletions) {
-            // Bound the rank before find_edge — the registry lookup
-            // itself asserts on an over-rank endpoint list.
-            if (eps.empty() || eps.size() > m.config().max_rank ||
-                m.find_edge(eps) == kNoEdge) {
-              rep.error = "journal record " + std::to_string(rec.epoch) +
-                          " deletes an edge this state does not contain "
-                          "(journal does not match the checkpoint)";
-              return rep;
-            }
-          }
-          for (const auto& eps : rec.batch.insertions) {
-            if (eps.empty() || eps.size() > m.config().max_rank) {
-              rep.error = "journal record " + std::to_string(rec.epoch) +
-                          " inserts an edge outside this matcher's rank";
-              return rep;
-            }
-          }
-          m.update_by_endpoints(rec.batch.deletions, rec.batch.insertions);
-          if (m.batch_epoch() != rec.epoch) {
-            rep.error = "replay diverged: matcher reached epoch " +
-                        std::to_string(m.batch_epoch()) +
-                        " applying journal record " +
-                        std::to_string(rec.epoch);
-            return rep;
-          }
-          ++rep.replayed_batches;
-        }
-      }
+      // When last_epoch < base no record had epoch > base (contiguity),
+      // so the streamed sink applied nothing and the checkpoint state is
+      // still intact when the error above fires.
     }
     // Journal-only recovery of an empty/fresh journal is fine: an empty
     // matcher at epoch 0 is the correct durable state.
@@ -199,6 +243,7 @@ std::unique_ptr<Journal> open_journal_after_recovery(
     scan.valid_bytes = report.journal_valid_bytes;
     scan.last_epoch = report.journal_last_epoch;
     scan.truncated_tail = report.journal_tail_truncated;
+    scan.stream = report.journal_stream;
     return Journal::open_scanned(path, opt, scan, error);
   }
   return Journal::open(path, opt, error);

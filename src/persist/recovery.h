@@ -11,7 +11,9 @@
 //      connect contiguously to the checkpoint epoch.
 //   3. Replay every record with epoch > checkpoint epoch through
 //      update_by_endpoints(), verifying the matcher's batch counter
-//      tracks the record epochs.
+//      tracks the record epochs. Replay streams through the scan itself
+//      (scan_journal_streamed), so recovery memory stays O(1 record)
+//      even for a journal-only restart over a multi-GB log.
 //
 // The caller constructs the matcher with the Config the crashed process
 // used (pdmm_recover reads it from the checkpoint meta; pdmm_serve
@@ -34,6 +36,14 @@ namespace persist {
 struct RecoveryOptions {
   std::string checkpoint_prefix;  // empty: journal-only (replay from empty)
   std::string journal_path;       // empty: checkpoint-only
+  // Fingerprint of the update stream the restarting server will consume
+  // (trace hash / generator parameters). Non-empty: a checkpoint or
+  // journal recorded under a DIFFERENT fingerprint is a hard error —
+  // resuming another stream's state and then applying this stream's
+  // batches would diverge silently from the recovered epoch on. Empty: no
+  // check against the caller, but checkpoint and journal fingerprints are
+  // still required to agree with each other when both are recorded.
+  std::string expected_stream;
 };
 
 struct RecoveryReport {
@@ -51,6 +61,7 @@ struct RecoveryReport {
   bool journal_scanned = false;
   uint64_t journal_valid_bytes = 0;
   uint64_t journal_last_epoch = 0;
+  std::string journal_stream;  // fingerprint from the journal header
 };
 
 // Restores `m` (which must be freshly constructed with the original

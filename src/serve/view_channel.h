@@ -28,6 +28,14 @@
 // (retired_pending) are writer-thread-only. acquire() and the ViewHandle
 // are safe from any thread; a handle must be released (destroyed) by the
 // thread holding it before the channel is destroyed.
+//
+// The writer-thread-only surface is machine-checked: writer_role() is a
+// ThreadRole capability (util/mutex.h), the retired list is guarded by
+// it, and publish()/reclaim()/retired_pending() require it. The single
+// writer thread asserts the role once at its entry point
+// (`ch.writer_role().assert_held()`) with a comment stating why the
+// single-writer contract holds there; under the `tidy` preset every other
+// access path is a compile error.
 #pragma once
 
 #include <atomic>
@@ -38,6 +46,8 @@
 
 #include "parallel/epoch_reclaim.h"
 #include "serve/match_view.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pdmm {
 
@@ -100,7 +110,8 @@ class ViewChannel {
   // successive publishes must be monotone non-decreasing (the matcher's
   // batch counter is). Retires the previous view and reclaims whatever
   // became unreachable.
-  void publish(std::unique_ptr<const MatchView> view);
+  void publish(std::unique_ptr<const MatchView> view)
+      PDMM_REQUIRES(writer_role_);
 
   // Reader side: lease the latest published view (null handle before the
   // first publish). Aborts when more than max_readers handles are
@@ -115,21 +126,34 @@ class ViewChannel {
   // published_epoch() >= h->epoch always holds (staleness never
   // underflows).
   uint64_t published_epoch() const {
+    // mo: acquire — pairs with the writer's seq_cst store so a reader that
+    // sees epoch E also sees everything published before E was stamped.
     return payload_epoch_.load(std::memory_order_acquire);
   }
 
   // ---- introspection (tests, drivers) ----
   uint64_t published_count() const {
+    // mo: relaxed — diagnostic counter; no ordering consumers.
     return published_.load(std::memory_order_relaxed);
   }
   uint64_t freed_count() const {
+    // mo: relaxed — diagnostic counter; no ordering consumers.
     return freed_.load(std::memory_order_relaxed);
   }
   // Writer-thread-only: retired views not yet reclaimable.
-  size_t retired_pending() const { return retired_.size(); }
+  size_t retired_pending() const PDMM_REQUIRES(writer_role_) {
+    return retired_.size();
+  }
   // Writer-thread-only: run a reclamation scan outside publish (e.g. after
   // the update stream ends, once readers wind down).
-  void reclaim();
+  void reclaim() PDMM_REQUIRES(writer_role_);
+
+  // The single-writer capability guarding publish()/reclaim() and the
+  // retired list. The writer thread asserts it where the contract is
+  // established (one updater per channel, by construction of the caller).
+  const ThreadRole& writer_role() const PDMM_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
 
  private:
   friend class ViewHandle;
@@ -143,8 +167,10 @@ class ViewChannel {
   std::atomic<uint64_t> payload_epoch_{0};
   EpochSlots slots_;
 
+  ThreadRole writer_role_;
   // Writer-private: views superseded at sequence number `second`.
-  std::vector<std::pair<const MatchView*, uint64_t>> retired_;
+  std::vector<std::pair<const MatchView*, uint64_t>> retired_
+      PDMM_GUARDED_BY(writer_role_);
   std::atomic<uint64_t> published_{0};
   std::atomic<uint64_t> freed_{0};
 };

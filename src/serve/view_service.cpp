@@ -4,16 +4,27 @@ namespace pdmm {
 
 MatchViewService::MatchViewService(DynamicMatcher& matcher, Options opt)
     : matcher_(matcher), channel_(opt.max_readers) {
+  // The service is constructed by the thread that drives updates (its
+  // documented contract), which is exactly the matcher's updater role —
+  // hook registration is updater-only state.
+  matcher_.updater_role().assert_held();
   matcher_.set_post_batch_hook(
       [this](const DynamicMatcher::BatchResult&) { publish_now(); });
   if (opt.publish_initial) publish_now();
 }
 
 MatchViewService::~MatchViewService() {
+  // Destruction happens on the updater thread after updates stopped
+  // (documented contract: the service dies before the matcher).
+  matcher_.updater_role().assert_held();
   matcher_.set_post_batch_hook(nullptr);
 }
 
 void MatchViewService::publish_now() {
+  // Updater-thread-only by contract (one updater per matcher, and the
+  // post-batch hook runs on it), so this thread is the channel's single
+  // writer.
+  channel_.writer_role().assert_held();
   channel_.publish(std::make_unique<MatchView>(matcher_.make_view()));
 }
 

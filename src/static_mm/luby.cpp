@@ -66,6 +66,8 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
 
   std::vector<std::atomic<uint64_t>> vmax(nv);
   std::vector<std::atomic<uint8_t>> vmatched(nv);
+  // mo: relaxed — single-threaded init; the pool barrier that launches the
+  // first round publishes these stores to the workers.
   for (auto& a : vmax) a.store(0, std::memory_order_relaxed);
   for (auto& a : vmatched) a.store(0, std::memory_order_relaxed);
 
@@ -88,6 +90,9 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
       prio[c] = p;
       for (uint8_t j = 0; j < deg[c]; ++j) {
         auto& slot = vmax[dense_eps[c * r + j]];
+        // mo: relaxed — monotone fetch-max race; only the winning value
+        // matters and the phase boundary (pool barrier) orders it before
+        // the reads in the winner-selection pass.
         uint64_t cur = slot.load(std::memory_order_relaxed);
         while (cur < p &&
                !slot.compare_exchange_weak(cur, p, std::memory_order_relaxed)) {
@@ -100,6 +105,8 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
     std::vector<uint32_t> winners = pack_values(pool, live, [&](size_t i) {
       const uint32_t c = live[i];
       for (uint8_t j = 0; j < deg[c]; ++j) {
+        // mo: relaxed — reads values written in the previous phase; the
+        // pool barrier between phases is the synchronization edge.
         if (vmax[dense_eps[c * r + j]].load(std::memory_order_relaxed) !=
             prio[c])
           return false;
@@ -109,6 +116,8 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
     parallel_for(pool, winners.size(), [&](size_t i) {
       const uint32_t c = winners[i];
       for (uint8_t j = 0; j < deg[c]; ++j)
+        // mo: relaxed — idempotent flag set (1 is the only value written);
+        // readers run in the next phase, after the pool barrier.
         vmatched[dense_eps[c * r + j]].store(1, std::memory_order_relaxed);
     });
     if (cost) cost->round(m * r + winners.size() * r);
@@ -121,6 +130,7 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
     live = pack_values(pool, live, [&](size_t i) {
       const uint32_t c = live[i];
       for (uint8_t j = 0; j < deg[c]; ++j) {
+        // mo: relaxed — flag was set before the previous pool barrier.
         if (vmatched[dense_eps[c * r + j]].load(std::memory_order_relaxed))
           return false;
       }
@@ -129,6 +139,9 @@ StaticMMResult static_maximal_matching(ThreadPool& pool,
     parallel_for(pool, live.size(), [&](size_t i) {
       const uint32_t c = live[i];
       for (uint8_t j = 0; j < deg[c]; ++j)
+        // mo: relaxed — reset for the next round; surviving candidates'
+        // endpoints are disjoint from matched ones, and the next round's
+        // pool barrier orders the reset before any re-publish.
         vmax[dense_eps[c * r + j]].store(0, std::memory_order_relaxed);
     });
     if (cost) cost->round(m * r);

@@ -1,0 +1,77 @@
+// Clang thread-safety analysis attributes, compiled away everywhere else.
+//
+// These macros let the compiler machine-check the locking and
+// thread-confinement contracts that the concurrency layers (parallel/,
+// serve/, persist/) otherwise only state in comments: a member declared
+// PDMM_GUARDED_BY(mu_) cannot be touched without holding mu_, a function
+// declared PDMM_REQUIRES(role) cannot be called from code that has not
+// established that role, and the `tidy` preset turns any violation into a
+// compile error (-Wthread-safety -Werror).
+//
+// Two kinds of capability are used in this codebase:
+//
+//  * Mutexes — util/mutex.h wraps std::mutex/std::condition_variable in
+//    annotated types; plain std::mutex is invisible to the analysis and
+//    must not be used for new shared state.
+//
+//  * Thread roles — several protocols are single-writer by contract
+//    (ViewChannel's publisher, the matcher's updater thread, a Journal's
+//    appender). util/mutex.h's ThreadRole is a zero-size capability that
+//    is never "locked" at runtime; a thread *asserts* the role at its
+//    entry point (where the contract is established by construction: one
+//    updater thread exists) and the analysis then proves every
+//    role-guarded member access happens on a code path that asserted it.
+//
+// Escape hatch policy: PDMM_NO_THREAD_SAFETY_ANALYSIS disables the
+// analysis for one function. Every use MUST carry an adjacent
+// happens-before rationale comment tagged `// tsa:` explaining why the
+// unguarded accesses are safe — tools/pdmm_lint.py rejects a bare
+// exemption, so every hole in the proof is explicit and grep-able.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PDMM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PDMM_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// Type attributes.
+#define PDMM_CAPABILITY(x) PDMM_THREAD_ANNOTATION_(capability(x))
+#define PDMM_SCOPED_CAPABILITY PDMM_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data-member attributes.
+#define PDMM_GUARDED_BY(x) PDMM_THREAD_ANNOTATION_(guarded_by(x))
+#define PDMM_PT_GUARDED_BY(x) PDMM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function attributes: caller-side contracts.
+#define PDMM_REQUIRES(...) \
+  PDMM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define PDMM_REQUIRES_SHARED(...) \
+  PDMM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define PDMM_EXCLUDES(...) PDMM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function attributes: capability state transitions.
+#define PDMM_ACQUIRE(...) \
+  PDMM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define PDMM_ACQUIRE_SHARED(...) \
+  PDMM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define PDMM_RELEASE(...) \
+  PDMM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define PDMM_RELEASE_SHARED(...) \
+  PDMM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define PDMM_TRY_ACQUIRE(...) \
+  PDMM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// "Trust me" assertions: states that the capability is held without
+// generating any code. Used where a contract is established outside the
+// analysis' view (e.g. "this object is constructed and driven by exactly
+// one thread"); the assertion point is the documented boundary of trust.
+#define PDMM_ASSERT_CAPABILITY(...) \
+  PDMM_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+
+#define PDMM_RETURN_CAPABILITY(x) PDMM_THREAD_ANNOTATION_(lock_returned(x))
+
+// Per-function opt-out. Requires a `// tsa:` rationale comment
+// (enforced by tools/pdmm_lint.py).
+#define PDMM_NO_THREAD_SAFETY_ANALYSIS \
+  PDMM_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -110,6 +110,8 @@ std::vector<Batch> read_trace_or_die(std::istream& in) {
   std::vector<Batch> batches;
   std::string err;
   const bool ok = read_trace(in, batches, &err);
+  // lint:allow(assert-recoverable) the _or_die suffix is the contract:
+  // test/bench conveniences opt into aborting; servers use read_trace.
   PDMM_ASSERT_MSG(ok, err.c_str());
   return batches;
 }

@@ -1,0 +1,6 @@
+// lint-test-path: src/core/corpus.cpp
+// Corpus: assert-recoverable only applies to persist/ and workload/trace*;
+// core invariants may abort. No findings expected.
+#define PDMM_ASSERT(x) ((void)(x))
+
+void check(int x) { PDMM_ASSERT(x >= 0); }

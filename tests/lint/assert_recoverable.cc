@@ -1,0 +1,20 @@
+// lint-test-path: src/persist/corpus.cpp
+// Corpus: assert-recoverable — persistence code parses external bytes, so
+// PDMM_ASSERT there must be flagged; error returns are required instead.
+// (The macro definitions themselves live in util/assert.h; a #define is
+// not a use and must not fire.)
+#define PDMM_ASSERT(x) ((void)(x))
+#define PDMM_ASSERT_MSG(x, m) ((void)(x))
+#define PDMM_DASSERT(x) ((void)(x))
+
+bool parse_header(const char* p, bool* out) {
+  PDMM_ASSERT(p != nullptr);  // expect-lint: assert-recoverable
+  PDMM_ASSERT_MSG(*p == 'J', "bad magic");  // expect-lint: assert-recoverable
+  // Debug-build invariants on internal state are fine: they compile away
+  // in release and never fire on corrupt input, only on our own bugs.
+  PDMM_DASSERT(out != nullptr);
+  // lint:allow(assert-recoverable) corpus exercise of the waiver path
+  PDMM_ASSERT(p[1] == 'N');
+  *out = true;
+  return true;
+}

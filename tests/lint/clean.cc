@@ -1,0 +1,25 @@
+// Corpus: a representative clean file — strict parsing via the helpers,
+// justified memory orders, container use only. Zero findings expected.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+std::atomic<bool> ready{false};
+
+void publish() {
+  // mo: release — pairs with consume()'s acquire load
+  ready.store(true, std::memory_order_release);
+}
+
+bool consume() {
+  // mo: acquire — pairs with publish()'s release store
+  return ready.load(std::memory_order_acquire);
+}
+
+std::vector<int> build(unsigned n) {
+  std::vector<int> v(n, 0);
+  auto p = std::make_unique<int>(7);
+  v.push_back(*p);
+  return v;
+}

@@ -1,0 +1,37 @@
+// Corpus: mo-comment — every std::memory_order argument needs a `// mo:`
+// comment on the same line or within the 6 preceding lines. Bad cases come
+// first so the good cases' comments stay out of their lookback windows.
+#include <atomic>
+
+std::atomic<int> g{0};
+
+int bad_naked() {
+  return g.load(std::memory_order_acquire);  // expect-lint: mo-comment
+}
+
+int bad_too_far() {
+  // mo: this justification is too far from its use to count
+  int a = 0;
+  int b = 1;
+  int c = 2;
+  int d = 3;
+  int e = 4;
+  int f = 5;
+  (void)(a + b + c + d + e + f);
+  return g.load(std::memory_order_seq_cst);  // expect-lint: mo-comment
+}
+
+int ok_same_line() {
+  return g.load(std::memory_order_acquire);  // mo: pairs with set()'s release
+}
+
+int ok_above() {
+  // mo: relaxed — diagnostic counter, no ordering needed
+  return g.load(std::memory_order_relaxed);
+}
+
+void ok_multiline_call() {
+  // mo: release — publishes the flag; reader acquires
+  g.store(1,
+          std::memory_order_release);
+}

@@ -1,0 +1,23 @@
+// Corpus: naked-parse — C string->number conversions must be flagged
+// anywhere outside src/util/parse_num.h, including the std:: spellings,
+// but never inside comments or string literals.
+#include <cstdlib>
+#include <string>
+
+int bad_c(const char* s) {
+  return static_cast<int>(strtoull(s, nullptr, 10));  // expect-lint: naked-parse
+}
+
+int bad_std(const std::string& s) {
+  return std::stoi(s);  // expect-lint: naked-parse
+}
+
+double bad_d(const char* s) {
+  return std::strtod(s, nullptr);  // expect-lint: naked-parse
+}
+
+// lint:allow(naked-parse) exercising the waiver path in the corpus
+long waived(const char* s) { return std::atol(s); }
+
+// A strtoull mention in a comment is not a call.
+const char* doc() { return "call std::stoi(s) elsewhere"; }

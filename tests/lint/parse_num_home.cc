@@ -1,0 +1,8 @@
+// lint-test-path: src/util/parse_num.h
+// Corpus: the strict-parse helpers are the one home where the raw
+// conversions are allowed; no findings expected in this file.
+#include <cstdlib>
+
+unsigned long long helper(const char* s, char** end) {
+  return std::strtoull(s, end, 10);
+}

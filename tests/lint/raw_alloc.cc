@@ -1,0 +1,24 @@
+// Corpus: raw-alloc — naked new/malloc outside the container/arena
+// allowlist.
+#include <cstdlib>
+
+struct Node { int v; };
+
+Node* bad_new() {
+  return new Node{1};  // expect-lint: raw-alloc
+}
+
+void* bad_malloc(unsigned n) {
+  return malloc(n);  // expect-lint: raw-alloc
+}
+
+void* bad_placement(void* p) {
+  return ::new (p) Node{2};  // expect-lint: raw-alloc
+}
+
+// Identifiers containing "new" and comment/string mentions must not fire.
+int new_cap_counter(int new_cap) { return new_cap; }  // renew the new_cap
+const char* doc() { return "allocates with new internally"; }
+
+// lint:allow(raw-alloc) corpus exercise of the waiver path
+Node* waived() { return new Node{3}; }

@@ -1,0 +1,4 @@
+// lint-test-path: src/util/indexed_set.h
+// Corpus: containers on the allowlist own raw arrays by design; no
+// findings expected.
+unsigned* grow(unsigned n) { return new unsigned[n]; }

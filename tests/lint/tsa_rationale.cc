@@ -1,0 +1,10 @@
+// Corpus: tsa-rationale — every thread-safety-analysis opt-out must carry
+// a written happens-before argument within the 10 lines above it. The bad
+// case comes first so the good case's rationale stays out of its window.
+#define PDMM_NO_THREAD_SAFETY_ANALYSIS
+
+void bad_exempt() PDMM_NO_THREAD_SAFETY_ANALYSIS {}  // expect-lint: tsa-rationale
+
+// tsa: reads only happen behind a successful CAS whose acquire pairs with
+// the coordinator's release store of the descriptor.
+void ok_exempt() PDMM_NO_THREAD_SAFETY_ANALYSIS {}

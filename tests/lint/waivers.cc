@@ -1,0 +1,15 @@
+// Corpus: waiver hygiene — a reason is mandatory and the rule name must
+// exist. A bad waiver both fails hygiene and fails to suppress.
+#include <cstdlib>
+
+// lint:allow(naked-parse)  expect-lint: waiver-reason
+int no_reason(const char* s) { return atoi(s); }
+
+// lint:allow(not-a-rule) typo'd rule names must be caught  expect-lint: waiver-unknown
+int unknown_rule(const char* s) {
+  return atoi(s);  // expect-lint: naked-parse
+}
+
+// lint:allow(naked-parse) reason continues on the next comment line, which
+// counts as the reason text for multi-line waiver comments.
+int long_reason(const char* s) { return atoi(s); }

@@ -248,6 +248,7 @@ TEST_F(PersistTest, JournalRoundTripsAndEnforcesEpochOrder) {
   {
     auto j = Journal::open(jpath, {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < run.batches.size(); ++i) {
       ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
     }
@@ -267,6 +268,7 @@ TEST_F(PersistTest, JournalRoundTripsAndEnforcesEpochOrder) {
   // Reopen appends after the existing tail.
   auto j = Journal::open(jpath, {}, &err);
   ASSERT_NE(j, nullptr) << err;
+  j->appender_role().assert_held();  // single-threaded test driver
   EXPECT_EQ(j->last_epoch(), run.batches.size());
 }
 
@@ -278,6 +280,7 @@ TEST_F(PersistTest, JournalTornTailIsDroppedAtEveryCutOffset) {
   {
     auto j = Journal::open(jpath, {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < run.batches.size(); ++i) {
       ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
     }
@@ -321,6 +324,7 @@ TEST_F(PersistTest, JournalTornTailIsDroppedAtEveryCutOffset) {
     // epoch past the recorded ones instead of re-appending a batch.
     auto j = Journal::open(cpath, {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     const uint64_t resume = j->last_epoch();
     ASSERT_LE(resume, run.batches.size());
     const Batch& next =
@@ -346,6 +350,7 @@ TEST_F(PersistTest, JournalRefusesForeignFilesAndGaps) {
   {
     auto j = Journal::open(path("gap"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     ASSERT_TRUE(j->append(1, run.batches[0], &err));
   }
   std::string bytes = file_str(path("gap"));
@@ -357,6 +362,7 @@ TEST_F(PersistTest, JournalRefusesForeignFilesAndGaps) {
   {
     auto j = Journal::open(path("gap"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     ASSERT_TRUE(j->append(2, run.batches[1], &err));
   }
   bytes = file_str(path("gap"));
@@ -378,6 +384,7 @@ TEST_F(PersistTest, JournalRefusesMidFileRot) {
   {
     auto j = Journal::open(path("rot"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < run.batches.size(); ++i) {
       ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
     }
@@ -442,6 +449,7 @@ TEST_F(PersistTest, RecoveryIsByteIdenticalAtEveryCut) {
     DynamicMatcher m(cfg, pool);
     auto j = Journal::open(jpath, {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < kBatches; ++i) {
       const Batch& b = run.batches[i];
       m.update_by_endpoints(b.deletions, b.insertions);
@@ -506,6 +514,7 @@ TEST_F(PersistTest, RecoverySkipsDamagedCheckpoints) {
     DynamicMatcher m(cfg, pool);
     auto j = Journal::open(jpath, {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < kBatches; ++i) {
       const Batch& b = run.batches[i];
       m.update_by_endpoints(b.deletions, b.insertions);
@@ -544,6 +553,7 @@ TEST_F(PersistTest, JournalOnlyAndCheckpointOnlyRecovery) {
   {
     auto j = Journal::open(path("wal"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < kBatches; ++i) {
       ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
     }
@@ -605,6 +615,7 @@ TEST_F(PersistTest, RenamedCheckpointIsRejectedWithoutContamination) {
   {
     auto j = Journal::open(path("wal"), {}, &err);  // header, no records
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
   }
   DynamicMatcher recovered(cfg, pool);
   RecoveryOptions opt;
@@ -665,6 +676,7 @@ TEST_F(PersistTest, RecoveryRefusesCheckpointAheadOfJournal) {
   {
     auto j = Journal::open(path("wal"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (size_t i = 0; i < 4; ++i) {  // journal only reaches epoch 4
       ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
     }
@@ -690,6 +702,7 @@ TEST_F(PersistTest, RecoveryRefusesConfigMismatchedCheckpoint) {
     DynamicMatcher m(cfg, pool);
     auto j = Journal::open(path("wal"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     for (const Batch& b : run.batches) {
       m.update_by_endpoints(b.deletions, b.insertions);
       ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
@@ -727,6 +740,7 @@ TEST_F(PersistTest, RecoveryRefusesMismatchedJournal) {
   {
     auto j = Journal::open(path("wal"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     // Record an epoch-7 batch that deletes an edge the checkpointed state
     // does not contain.
     Batch bogus;
@@ -751,6 +765,7 @@ TEST_F(PersistTest, RecoveryRefusesMismatchedJournal) {
   {
     auto j = Journal::open(path("wal_rank"), {}, &err);
     ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
     Batch rank3;
     rank3.deletions.push_back({1, 2, 3});
     ASSERT_TRUE(j->append(1, rank3, &err)) << err;
@@ -762,6 +777,247 @@ TEST_F(PersistTest, RecoveryRefusesMismatchedJournal) {
   EXPECT_FALSE(rep3.ok);
   EXPECT_NE(rep3.error.find("does not match"), std::string::npos)
       << rep3.error;
+}
+
+// ---------------------------------------------------------------------------
+// Stream fingerprints + streamed replay
+// ---------------------------------------------------------------------------
+
+TEST_F(PersistTest, JournalRecordsStreamFingerprint) {
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 3);
+  const std::string jpath = path("wal");
+  std::string err;
+  Journal::Options fp;
+  fp.stream = "churn n=220 target=500 seed=77";
+  {
+    auto j = Journal::open(jpath, fp, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    ASSERT_TRUE(j->append(1, run.batches[0], &err)) << err;
+  }
+  const JournalScan scan = persist::scan_journal(jpath);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.stream, fp.stream);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].epoch, 1u);
+
+  // Same fingerprint reopens and appends; no fingerprint skips the check
+  // (legacy operation); a different fingerprint is refused — appending
+  // another stream's batches would corrupt the lineage.
+  {
+    auto j = Journal::open(jpath, fp, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    EXPECT_EQ(j->last_epoch(), 1u);
+    ASSERT_TRUE(j->append(2, run.batches[1], &err)) << err;
+  }
+  {
+    auto j = Journal::open(jpath, {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+  }
+  Journal::Options other = fp;
+  other.stream = "trace crc32=12345";
+  EXPECT_EQ(Journal::open(jpath, other, &err), nullptr);
+  EXPECT_NE(err.find("stream"), std::string::npos) << err;
+
+  // A fingerprint with an embedded newline would forge header lines.
+  Journal::Options evil;
+  evil.stream = "a\nrec 9 9 9";
+  EXPECT_EQ(Journal::open(path("evil"), evil, &err), nullptr);
+
+  // A journal recorded WITHOUT a fingerprint accepts any expectation on
+  // reopen: there is nothing recorded to check against.
+  {
+    auto j = Journal::open(path("legacy"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    ASSERT_TRUE(j->append(1, run.batches[0], &err)) << err;
+  }
+  {
+    auto j = Journal::open(path("legacy"), fp, &err);
+    ASSERT_NE(j, nullptr) << err;
+  }
+}
+
+TEST_F(PersistTest, StreamedScanDeliversEachRecordOnce) {
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 5);
+  const std::string jpath = path("wal");
+  std::string err;
+  Journal::Options fp;
+  fp.stream = "streamed-test";
+  {
+    auto j = Journal::open(jpath, fp, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    for (size_t i = 0; i < run.batches.size(); ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+    }
+  }
+
+  // The sink sees every durable record in order; nothing is materialized.
+  std::vector<uint64_t> epochs;
+  std::string header_fp = "unset";
+  const JournalScan scan = persist::scan_journal_streamed(
+      jpath,
+      [&](persist::JournalRecord&& rec) {
+        epochs.push_back(rec.epoch);
+        EXPECT_EQ(rec.batch.insertions,
+                  run.batches[rec.epoch - 1].insertions);
+        return true;
+      },
+      [&](const std::string& s) {
+        header_fp = s;
+        return true;
+      });
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(header_fp, fp.stream);
+  EXPECT_EQ(epochs, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.record_count, 5u);
+  EXPECT_EQ(scan.last_epoch, 5u);
+
+  // A sink abort fails the scan after the records already delivered.
+  epochs.clear();
+  const JournalScan aborted = persist::scan_journal_streamed(
+      jpath, [&](persist::JournalRecord&& rec) {
+        epochs.push_back(rec.epoch);
+        return rec.epoch < 3;
+      });
+  EXPECT_FALSE(aborted.ok);
+  EXPECT_EQ(epochs, (std::vector<uint64_t>{1, 2, 3}));
+
+  // A header-hook rejection aborts before the sink sees a single record.
+  bool sink_called = false;
+  const JournalScan refused = persist::scan_journal_streamed(
+      jpath,
+      [&](persist::JournalRecord&&) {
+        sink_called = true;
+        return true;
+      },
+      [](const std::string&) { return false; });
+  EXPECT_FALSE(refused.ok);
+  EXPECT_FALSE(sink_called);
+}
+
+TEST_F(PersistTest, RecoveryEnforcesStreamFingerprints) {
+  ThreadPool pool(1);
+  const Config cfg = persist_config();
+  const RefRun run = drive_reference(cfg, pool, 6);
+  const std::string fpA = "churn seed=77";
+  const std::string fpB = "churn seed=78";
+  std::string err;
+  {
+    DynamicMatcher m(cfg, pool);
+    Journal::Options jopt;
+    jopt.stream = fpA;
+    auto j = Journal::open(path("wal"), jopt, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+      ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
+      if (m.batch_epoch() == 4) {
+        ASSERT_TRUE(persist::write_checkpoint_series(path("ck"), m, 2, &err,
+                                                     false, fpA))
+            << err;
+      }
+    }
+  }
+
+  // The checkpoint meta carries the fingerprint.
+  const auto cks = persist::list_checkpoints(path("ck"));
+  ASSERT_EQ(cks.size(), 1u);
+  CheckpointData ck;
+  ASSERT_TRUE(persist::read_checkpoint_meta_file(cks[0].second, ck, &err))
+      << err;
+  EXPECT_EQ(ck.stream(), fpA);
+
+  // Matching expectation recovers; so does no expectation (the recorded
+  // fingerprints still cross-check against each other).
+  for (const std::string& expect : {fpA, std::string()}) {
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = path("ck");
+    opt.journal_path = path("wal");
+    opt.expected_stream = expect;
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(rep.final_epoch, 6u);
+    EXPECT_EQ(rep.journal_stream, fpA);
+    EXPECT_EQ(save_str(recovered), run.reference.back());
+  }
+
+  // A different expected stream is refused at the checkpoint...
+  {
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = path("ck");
+    opt.journal_path = path("wal");
+    opt.expected_stream = fpB;
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.error.find("different update stream"), std::string::npos)
+        << rep.error;
+  }
+  // ...and, journal-only, at the journal header — before any replay.
+  {
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.journal_path = path("wal");
+    opt.expected_stream = fpB;
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.error.find("different update stream"), std::string::npos)
+        << rep.error;
+    EXPECT_EQ(recovered.batch_epoch(), 0u);  // nothing was applied
+  }
+
+  // Checkpoint and journal that disagree WITH EACH OTHER are refused even
+  // when the caller states no expectation: they are not one lineage.
+  {
+    DynamicMatcher m(cfg, pool);
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ckB"), m, 2, &err,
+                                                 false, fpB))
+        << err;
+    // The journal must reach the checkpoint epoch or the stale-checkpoint
+    // refusal fires first; epoch 6 == the series above.
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = path("ckB");
+    opt.journal_path = path("wal");
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.error.find("different update streams"), std::string::npos)
+        << rep.error;
+  }
+
+  // Legacy artifacts without fingerprints recover under any expectation.
+  {
+    DynamicMatcher m(cfg, pool);
+    auto j = Journal::open(path("wal_legacy"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    for (const Batch& b : run.batches) {
+      m.update_by_endpoints(b.deletions, b.insertions);
+      ASSERT_TRUE(j->append(m.batch_epoch(), b, &err)) << err;
+    }
+    ASSERT_TRUE(persist::write_checkpoint_series(path("ck_legacy"), m, 2,
+                                                 &err))
+        << err;
+    DynamicMatcher recovered(cfg, pool);
+    RecoveryOptions opt;
+    opt.checkpoint_prefix = path("ck_legacy");
+    opt.journal_path = path("wal_legacy");
+    opt.expected_stream = fpA;
+    const RecoveryReport rep = persist::recover(recovered, opt);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_EQ(save_str(recovered), run.reference.back());
+  }
 }
 
 }  // namespace

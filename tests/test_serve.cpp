@@ -172,6 +172,8 @@ TEST(ViewChannel, AcquireBeforePublishIsEmpty) {
 
 TEST(ViewChannel, RetireAndReclaimFollowHandles) {
   ViewChannel ch(4);
+  // The test body is the channel's single (and only) thread.
+  ch.writer_role().assert_held();
   ch.publish(tiny_view(1));
   EXPECT_EQ(ch.published_epoch(), 1u);
 
@@ -209,6 +211,8 @@ TEST(ViewChannel, RetireAndReclaimFollowHandles) {
 
 TEST(ViewChannel, EqualEpochRepublishIsAllowed) {
   ViewChannel ch(2);
+  // The test body is the channel's single (and only) thread.
+  ch.writer_role().assert_held();
   ch.publish(tiny_view(4));
   ch.publish(tiny_view(4));  // e.g. publish_now() after rebuild()/load()
   EXPECT_EQ(ch.published_epoch(), 4u);
@@ -371,6 +375,9 @@ TEST(ServeHammer, ReadersSeeConsistentMaximalMonotoneViews) {
     });
   }
 
+  // This (main) thread is the only publisher — the reader threads above
+  // only acquire — so it holds the channel's writer role throughout.
+  channel.writer_role().assert_held();
   for (size_t i = 1; i <= kBatches; ++i) {
     const Batch b = stream.next(kBatchSize);
     m.update_by_endpoints(b.deletions, b.insertions);

@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
   const std::string checkpoint_prefix = args.get_string("checkpoint", "");
   const std::string journal_path = args.get_string("journal", "");
   const std::string replay_trace = args.get_string("replay_trace", "");
+  // Expected stream fingerprint (pdmm_serve prints the one it records).
+  // Recovery then refuses state recorded under a different update stream;
+  // the checkpoint-vs-journal fingerprint cross-check runs either way.
+  const std::string expected_stream = args.get_string("stream", "");
   const uint64_t replay_epoch = args.get_u64("epoch", 0);
   const bool check = args.get_bool("check", false);
   const std::string out_path = args.get_string("out", "");
@@ -130,6 +134,7 @@ int main(int argc, char** argv) {
   persist::RecoveryOptions ropt;
   ropt.checkpoint_prefix = checkpoint_prefix;
   ropt.journal_path = journal_path;
+  ropt.expected_stream = expected_stream;
   const persist::RecoveryReport rep = persist::recover(m, ropt);
   if (!rep.ok) {
     std::cerr << "recovery failed: " << rep.error << "\n";

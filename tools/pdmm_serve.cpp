@@ -43,6 +43,7 @@
 #include "persist/recovery.h"
 #include "serve/view_service.h"
 #include "util/arg_parse.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "workload/generators.h"
@@ -70,6 +71,9 @@ void reader_loop(MatchViewService& serve, const std::atomic<bool>& done,
   Xoshiro256 rng(seed);
   uint64_t last_epoch = 0;
   while (true) {
+    // mo: acquire — pairs with main's release store of `done`; everything
+    // published before shutdown (the final view) is visible to the drain
+    // acquire() below.
     const bool finishing = done.load(std::memory_order_acquire);
     ViewHandle h = serve.acquire();
     if (!h) {
@@ -161,16 +165,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The update stream: a recorded trace, or steady-state churn.
+  // The update stream: a recorded trace, or steady-state churn. Either
+  // way it gets a one-line fingerprint — a content hash for a trace, the
+  // generating parameters for churn (batch count excluded: a longer run
+  // over the same generator is the same stream, just more of it). The
+  // fingerprint rides in the journal header and checkpoint meta so a
+  // restart with different stream flags is refused at recovery instead of
+  // silently diverging from the recovered epoch on.
   std::vector<Batch> trace;
+  std::string stream_fp;
   if (!trace_path.empty()) {
-    std::ifstream in(trace_path);
+    std::ifstream in(trace_path, std::ios::binary);
     if (!in) {
       std::cerr << "cannot open trace " << trace_path << "\n";
       return 1;
     }
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    const std::string bytes = std::move(raw).str();
+    stream_fp = "trace crc32=" + std::to_string(crc32(bytes));
+    std::istringstream ts(bytes);
     std::string err;
-    if (!read_trace(in, trace, &err)) {
+    if (!read_trace(ts, trace, &err)) {
       std::cerr << "invalid trace: " << err << "\n";
       return 1;
     }
@@ -182,6 +198,10 @@ int main(int argc, char** argv) {
     so.seed = seed;
     ChurnStream stream(so);
     trace = record_stream(stream, batches, batch_size);
+    stream_fp = "churn n=" + std::to_string(n) + " rank=" +
+                std::to_string(rank) + " target=" + std::to_string(target) +
+                " k=" + std::to_string(batch_size) + " seed=" +
+                std::to_string(seed);
   }
 
   ThreadPool pool(static_cast<unsigned>(threads));
@@ -199,6 +219,7 @@ int main(int argc, char** argv) {
     persist::RecoveryOptions ropt;
     ropt.checkpoint_prefix = checkpoint_prefix;
     ropt.journal_path = journal_path;
+    ropt.expected_stream = stream_fp;
     rep = persist::recover(m, ropt);
     if (!rep.ok) {
       std::cerr << "recovery failed: " << rep.error << "\n";
@@ -224,10 +245,16 @@ int main(int argc, char** argv) {
     skip_batches = static_cast<size_t>(rep.final_epoch);
   }
 
+  if (!journal_path.empty() || !checkpoint_prefix.empty()) {
+    // Printed so an operator can hand it to `pdmm_recover --stream=...`.
+    std::cout << "stream: " << stream_fp << "\n";
+  }
+
   std::unique_ptr<persist::Journal> journal;
   if (!journal_path.empty()) {
     persist::Journal::Options jopt;
     jopt.fsync_each = fsync_each;
+    jopt.stream = stream_fp;
     std::string jerr;
     journal = persist::open_journal_after_recovery(journal_path, jopt, rep,
                                                    &jerr);
@@ -235,6 +262,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open journal: " << jerr << "\n";
       return 1;
     }
+    // Single-appender contract: main is the only thread that touches the
+    // journal (readers never see it), so it holds the appender role.
+    journal->appender_role().assert_held();
     if (journal->last_epoch() > m.batch_epoch()) {
       std::cerr << "journal is ahead of the matcher (epoch "
                 << journal->last_epoch() << " > " << m.batch_epoch()
@@ -246,6 +276,10 @@ int main(int argc, char** argv) {
   MatchViewService::Options sopt;
   sopt.max_readers = static_cast<size_t>(readers) * 2 + 8;
   MatchViewService serve(m, sopt);
+  // Single-writer contract: main is the updater thread — it alone calls
+  // update_by_endpoints() (publishing views through the hook) and, after
+  // the readers join below, it alone runs the final reclaim scan.
+  serve.channel().writer_role().assert_held();
 
   std::atomic<bool> done{false};
   std::vector<ReaderStats> stats(readers);
@@ -271,13 +305,18 @@ int main(int argc, char** argv) {
     const Batch& b = trace[i];
     updates += b.deletions.size() + b.insertions.size();
     m.update_by_endpoints(b.deletions, b.insertions);
-    if (journal && !journal->append(m.batch_epoch(), b, &persist_error)) {
-      break;  // durability lost: stop taking updates
+    if (journal) {
+      // Still the sole journal owner (asserted at open; re-stated here
+      // because the role does not survive the branch join).
+      journal->appender_role().assert_held();
+      if (!journal->append(m.batch_epoch(), b, &persist_error)) {
+        break;  // durability lost: stop taking updates
+      }
     }
     if (checkpoint_every != 0 && m.batch_epoch() % checkpoint_every == 0) {
       if (!persist::write_checkpoint_series(checkpoint_prefix, m,
                                             checkpoint_keep, &persist_error,
-                                            fsync_each)) {
+                                            fsync_each, stream_fp)) {
         break;
       }
       ++checkpoints_written;
@@ -295,11 +334,13 @@ int main(int argc, char** argv) {
       last_ck_epoch != m.batch_epoch()) {
     if (persist::write_checkpoint_series(checkpoint_prefix, m,
                                          checkpoint_keep, &persist_error,
-                                         fsync_each)) {
+                                         fsync_each, stream_fp)) {
       ++checkpoints_written;
     }
   }
   const double update_secs = t.seconds();
+  // mo: release — pairs with the readers' acquire load; the final
+  // published view happens-before any reader seeing done==true.
   done.store(true, std::memory_order_release);
   for (auto& th : reader_threads) th.join();
   const double total_secs = t.seconds();
@@ -346,10 +387,14 @@ int main(int argc, char** argv) {
             << " pending"
             << (validate ? ", validation on" : "") << "\n";
   if (journal || checkpoints_written) {
-    std::cout << "persist: "
-              << (journal ? journal->records_appended() : 0)
-              << " journal records (last epoch "
-              << (journal ? journal->last_epoch() : 0) << "), "
+    uint64_t journal_records = 0, journal_last = 0;
+    if (journal) {
+      journal->appender_role().assert_held();  // sole owner; updates done
+      journal_records = journal->records_appended();
+      journal_last = journal->last_epoch();
+    }
+    std::cout << "persist: " << journal_records
+              << " journal records (last epoch " << journal_last << "), "
               << checkpoints_written << " checkpoints"
               << (fsync_each ? ", fsync per record" : "") << "\n";
   }

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Run the clang-tidy gate over src/ tools/ bench/.
+#
+# Configures the `tidy` CMake preset (clang + -Wthread-safety + -Werror) to
+# get a compile_commands.json, then runs clang-tidy (checks from the
+# repo-root .clang-tidy) over every first-party translation unit. Headers
+# are covered through HeaderFilterRegex.
+#
+# Usage:
+#   tools/run_tidy.sh              # full gate (configure + tidy all TUs)
+#   tools/run_tidy.sh src/core     # only TUs under a path prefix
+#   PDMM_TIDY_JOBS=4 tools/run_tidy.sh
+#
+# Exit codes: 0 clean, 1 findings, 2 environment missing (clang-tidy or
+# clang not installed). CI treats 2 as a hard failure; local runs on
+# machines without clang get a clear message instead of a confusing one.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+filter_prefix="${1:-}"
+jobs="${PDMM_TIDY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+build_dir="build/tidy"
+
+tidy_bin="${PDMM_CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_tidy: $tidy_bin not found on PATH." >&2
+  echo "run_tidy: install clang-tidy (CI does) or set PDMM_CLANG_TIDY." >&2
+  exit 2
+fi
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "run_tidy: clang++ not found on PATH (the tidy preset needs it)." >&2
+  exit 2
+fi
+
+# Configure (or re-configure) the tidy preset to refresh
+# compile_commands.json. Building is NOT required for clang-tidy, but the
+# preset is the same one CI compiles with -Wthread-safety, so the two gates
+# share one database.
+if ! cmake --preset tidy >/dev/null; then
+  echo "run_tidy: cmake --preset tidy failed" >&2
+  exit 2
+fi
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_tidy: $db missing after configure" >&2
+  exit 2
+fi
+
+# First-party TUs only: GTest/test binaries and generated files are out of
+# scope (tests are checked by the compiler gates; tidy noise there buys
+# little).
+mapfile -t tus < <(
+  python3 - "$db" "$filter_prefix" <<'EOF'
+import json, sys
+db, prefix = json.load(open(sys.argv[1])), sys.argv[2]
+seen = set()
+for entry in db:
+    f = entry["file"]
+    for top in ("src/", "tools/", "bench/"):
+        i = f.find("/" + top)
+        if i >= 0:
+            rel = f[i + 1:]
+            if rel.startswith(prefix) and rel not in seen:
+                seen.add(rel)
+                print(rel)
+EOF
+)
+if [ "${#tus[@]}" -eq 0 ]; then
+  echo "run_tidy: no translation units matched '$filter_prefix'" >&2
+  exit 2
+fi
+
+echo "run_tidy: ${#tus[@]} TUs, $jobs jobs"
+
+if command -v run-clang-tidy >/dev/null 2>&1 && [ -z "$filter_prefix" ]; then
+  # run-clang-tidy parallelizes and aggregates; regex anchors to our dirs.
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+    -j "$jobs" "^$repo_root/(src|tools|bench)/"
+  status=$?
+else
+  status=0
+  printf '%s\n' "${tus[@]}" | xargs -P "$jobs" -I{} \
+    "$tidy_bin" -p "$build_dir" --quiet {} || status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy: findings above must be fixed (or suppressed in" >&2
+  echo ".clang-tidy with a reason — see the policy header there)." >&2
+  exit 1
+fi
+echo "run_tidy: clean"

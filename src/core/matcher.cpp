@@ -939,10 +939,16 @@ DynamicMatcher::BatchResult DynamicMatcher::update(
 
 MatchView DynamicMatcher::make_view() const {
   MatchView view;
+  make_view_into(view);
+  return view;
+}
+
+void DynamicMatcher::make_view_into(MatchView& view) const {
   view.epoch = batch_counter_;
   view.max_rank = reg_.max_rank();
 
   // Per-vertex arrays: disjoint writes, so the fill parallelizes directly.
+  // resize() on an already-capacious recycled view reuses its allocation.
   const size_t nv = verts_.size();
   view.vmatch.resize(nv);
   view.vlevel.resize(nv);
@@ -953,8 +959,12 @@ MatchView DynamicMatcher::make_view() const {
 
   // Matched edges (ascending, from matching()) with their endpoints packed
   // CSR-style so the view owns every byte a query touches.
-  view.medges = matching();
-  view.moffset.resize(view.medges.size() + 1, 0);
+  view.medges.clear();
+  view.medges.reserve(matching_size_);
+  for (EdgeId e = 0; e < eflags_.size(); ++e) {
+    if (eflags_[e] & kMatched) view.medges.push_back(e);
+  }
+  view.moffset.resize(view.medges.size() + 1);
   size_t total = 0;
   for (size_t i = 0; i < view.medges.size(); ++i) {
     view.moffset[i] = static_cast<uint32_t>(total);
@@ -967,7 +977,6 @@ MatchView DynamicMatcher::make_view() const {
     std::copy(eps.begin(), eps.end(),
               view.mendpoints.begin() + view.moffset[i]);
   });
-  return view;
 }
 
 }  // namespace pdmm

@@ -175,6 +175,11 @@ class DynamicMatcher {
   // inspection accessors); serve::MatchViewService calls it from the
   // post-batch hook, which satisfies that by construction.
   MatchView make_view() const;
+  // Buffer-reusing variant: captures the same snapshot into `out`,
+  // recycling its vector capacity — the pipelined engine's Scratch
+  // handoff rebuilds views into retired buffers so the steady-state
+  // publish path stops allocating. Same between-updates calling rule.
+  void make_view_into(MatchView& out) const;
   // Installs `hook`, invoked at the very end of every update() — after all
   // invariants are restored (and after the optional invariant check), with
   // the batch's result — on the updater thread. One hook at a time; pass

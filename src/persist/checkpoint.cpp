@@ -11,6 +11,7 @@
 #include "persist/io_util.h"
 #include "util/crc32.h"
 #include "util/parse_num.h"
+#include "util/sync_point.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -226,20 +227,31 @@ bool read_checkpoint(std::istream& in, CheckpointData& out,
   return read_checkpoint_impl(in, out, error, /*meta_only=*/false);
 }
 
-bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
-                           std::string* error, bool durable,
-                           const std::string& stream_fp) {
+bool encode_checkpoint(const DynamicMatcher& m, std::string& out,
+                       std::string* error, const std::string& stream_fp) {
+  std::ostringstream os;
+  if (!write_checkpoint(os, m, error, stream_fp)) return false;
+  out = std::move(os).str();
+  return true;
+}
+
+bool write_checkpoint_bytes_file(const std::string& path,
+                                 const std::string& bytes, uint64_t epoch,
+                                 std::string* error, bool durable) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return set_error(error, "cannot open " + tmp + " for writing");
     }
-    if (!write_checkpoint(out, m, error, stream_fp)) {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
       out.close();
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
-      return false;
+      return set_error(error, "cannot write " + tmp +
+                                  " (disk full or closed?)");
     }
   }
   // Flush-only by default (durable against process death). With durable,
@@ -250,6 +262,21 @@ bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
     return set_error(error, "cannot fsync " + tmp);
+  }
+  switch (SyncPoints::fire(kCheckpointPreRename, epoch)) {
+    case SyncPoints::kProceed:
+      break;
+    case SyncPoints::kFail: {
+      // Injected placement failure: behave like a failed rename — no new
+      // checkpoint becomes visible and the tmp file is cleaned up.
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return set_error(error, "checkpoint rename failed: injected fault");
+    }
+    case SyncPoints::kCrash:
+      // Injected crash between tmp completion and rename: leave the .tmp
+      // stray a real crash would (recovery ignores non-numeric suffixes).
+      return set_error(error, "checkpoint placement aborted: injected crash");
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -265,6 +292,15 @@ bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
     }
   }
   return true;
+}
+
+bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
+                           std::string* error, bool durable,
+                           const std::string& stream_fp) {
+  std::string bytes;
+  if (!encode_checkpoint(m, bytes, error, stream_fp)) return false;
+  return write_checkpoint_bytes_file(path, bytes, m.batch_epoch(), error,
+                                     durable);
 }
 
 bool read_checkpoint_file(const std::string& path, CheckpointData& out,
@@ -312,6 +348,31 @@ std::vector<std::pair<uint64_t, std::string>> list_checkpoints(
   return out;
 }
 
+namespace {
+
+// The just-written epoch is the series head: files claiming a *newer*
+// epoch cannot belong to this server's lineage (its epochs only grow
+// through the series writers) — they are strays from a superseded run
+// that restarted without --recover, and leaving them would both shadow
+// the live checkpoints at recovery time and, worse, make the keep-N prune
+// delete the fresh files instead of the stale ones. Remove strays first,
+// then keep the newest `keep` of the lineage.
+void prune_series(const std::string& prefix, uint64_t head_epoch,
+                  size_t keep) {
+  size_t kept = 0;
+  for (const auto& [e, p] : list_checkpoints(prefix)) {
+    const bool stale_future = e > head_epoch;
+    if (!stale_future && kept < std::max<size_t>(keep, 1)) {
+      ++kept;
+      continue;
+    }
+    std::error_code ec;
+    std::filesystem::remove(p, ec);
+  }
+}
+
+}  // namespace
+
 bool write_checkpoint_series(const std::string& prefix,
                              const DynamicMatcher& m, size_t keep,
                              std::string* error, bool durable,
@@ -321,23 +382,18 @@ bool write_checkpoint_series(const std::string& prefix,
   if (!write_checkpoint_file(path, m, error, durable, stream_fp)) {
     return false;
   }
-  // The just-written epoch is the series head: files claiming a *newer*
-  // epoch cannot belong to this server's lineage (its epochs only grow
-  // through this function) — they are strays from a superseded run that
-  // restarted without --recover, and leaving them would both shadow the
-  // live checkpoints at recovery time and, worse, make the keep-N prune
-  // delete the fresh files instead of the stale ones. Remove strays
-  // first, then keep the newest `keep` of the lineage.
-  size_t kept = 0;
-  for (const auto& [e, p] : list_checkpoints(prefix)) {
-    const bool stale_future = e > epoch;
-    if (!stale_future && kept < std::max<size_t>(keep, 1)) {
-      ++kept;
-      continue;
-    }
-    std::error_code ec;
-    std::filesystem::remove(p, ec);
+  prune_series(prefix, epoch, keep);
+  return true;
+}
+
+bool write_checkpoint_series_bytes(const std::string& prefix, uint64_t epoch,
+                                   const std::string& bytes, size_t keep,
+                                   std::string* error, bool durable) {
+  const std::string path = prefix + "." + std::to_string(epoch);
+  if (!write_checkpoint_bytes_file(path, bytes, epoch, error, durable)) {
+    return false;
   }
+  prune_series(prefix, epoch, keep);
   return true;
 }
 

@@ -66,6 +66,15 @@ bool write_checkpoint(std::ostream& out, const DynamicMatcher& m,
                       std::string* error,
                       const std::string& stream_fp = "");
 
+// Capture/I-O split for the pipelined engine: encode_checkpoint captures
+// the full container (header + meta + snap + end) into `out` — this reads
+// live matcher state, so it must run at the epoch barrier on the thread
+// that owns the matcher — and the *_bytes variants below do only file
+// I/O, so a pipeline can ship the bytes to another thread and overlap the
+// write/fsync/rename with the next batch's compute.
+bool encode_checkpoint(const DynamicMatcher& m, std::string& out,
+                       std::string* error, const std::string& stream_fp = "");
+
 // Parses and validates one checkpoint (section framing, lengths, CRCs).
 // On failure `out` is unspecified and *error names the problem.
 bool read_checkpoint(std::istream& in, CheckpointData& out,
@@ -80,6 +89,14 @@ bool read_checkpoint(std::istream& in, CheckpointData& out,
 bool write_checkpoint_file(const std::string& path, const DynamicMatcher& m,
                            std::string* error, bool durable = false,
                            const std::string& stream_fp = "");
+// Pure-I/O variant over pre-encoded container bytes (encode_checkpoint).
+// Same tmp+rename atomic placement; fires the "checkpoint.pre_rename"
+// sync point (with `epoch`) between the completed tmp write and the
+// rename — an injected crash there leaves exactly the .tmp stray a real
+// one would.
+bool write_checkpoint_bytes_file(const std::string& path,
+                                 const std::string& bytes, uint64_t epoch,
+                                 std::string* error, bool durable = false);
 bool read_checkpoint_file(const std::string& path, CheckpointData& out,
                           std::string* error);
 
@@ -97,6 +114,12 @@ bool write_checkpoint_series(const std::string& prefix,
                              const DynamicMatcher& m, size_t keep,
                              std::string* error, bool durable = false,
                              const std::string& stream_fp = "");
+// Series placement for pre-encoded bytes (the pipelined engine's
+// checkpoint stage): writes "<prefix>.<epoch>" via
+// write_checkpoint_bytes_file, then the same stray-aware keep-N prune.
+bool write_checkpoint_series_bytes(const std::string& prefix, uint64_t epoch,
+                                   const std::string& bytes, size_t keep,
+                                   std::string* error, bool durable = false);
 
 // All existing "<prefix>.<epoch>" files, newest epoch first. Files whose
 // suffix is not a plain decimal epoch are ignored (including .tmp strays).

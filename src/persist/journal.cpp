@@ -10,6 +10,7 @@
 #include "persist/io_util.h"
 #include "util/crc32.h"
 #include "util/parse_num.h"
+#include "util/sync_point.h"
 #include "workload/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -33,14 +34,19 @@ constexpr uint64_t kMaxRecordBytes = uint64_t{1} << 32;
 // torn write are indistinguishable (both fail validation with nothing
 // after them), so the durability granularity at the tail is one record
 // either way — exactly the bound the flush-per-record model documents.
-std::string encode_record(uint64_t epoch, const Batch& b) {
+void encode_record_into(uint64_t epoch, const Batch& b, std::string& out) {
   std::ostringstream payload;
   write_batch(payload, b);
   std::string body = std::move(payload).str();
-  std::ostringstream rec;
-  rec << "rec " << epoch << ' ' << body.size() << ' ' << crc32(body) << '\n'
-      << body;
-  return std::move(rec).str();
+  out.clear();
+  out += "rec ";
+  out += std::to_string(epoch);
+  out += ' ';
+  out += std::to_string(body.size());
+  out += ' ';
+  out += std::to_string(crc32(body));
+  out += '\n';
+  out += body;
 }
 
 // Shared scan core. Exactly one consumer shape per call: either records
@@ -321,6 +327,11 @@ Journal::~Journal() {
 }
 
 bool Journal::append(uint64_t epoch, const Batch& b, std::string* error) {
+  return append_buffered(epoch, b, error) && commit(error);
+}
+
+bool Journal::append_buffered(uint64_t epoch, const Batch& b,
+                              std::string* error) {
   if (epoch == 0 || (last_epoch_ != 0 && epoch != last_epoch_ + 1)) {
     if (error) {
       *error = "journal epoch " + std::to_string(epoch) +
@@ -328,11 +339,40 @@ bool Journal::append(uint64_t epoch, const Batch& b, std::string* error) {
     }
     return false;
   }
-  const std::string rec = encode_record(epoch, b);
-  if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size() ||
-      std::fflush(f_) != 0) {
+  encode_record_into(epoch, b, enc_buf_);
+  if (std::fwrite(enc_buf_.data(), 1, enc_buf_.size(), f_) !=
+      enc_buf_.size()) {
     if (error) {
       *error = std::string("journal append failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  last_epoch_ = epoch;
+  ++appended_;
+  return true;
+}
+
+bool Journal::commit(std::string* error) {
+  if (committed_epoch_ == last_epoch_) return true;  // nothing buffered
+  switch (SyncPoints::fire(kJournalPreFsync, last_epoch_)) {
+    case SyncPoints::kProceed:
+      break;
+    case SyncPoints::kFail:
+      // Injected sync failure: the group stays non-durable — the
+      // watermark does not move, and the caller sees the same error shape
+      // a real fsync() failure produces.
+      if (error) *error = "journal fsync failed: injected fault";
+      return false;
+    case SyncPoints::kCrash:
+      // Injected crash: die here without another byte of I/O. The stdio
+      // buffer's uncommitted records never reach the file, exactly like a
+      // SIGKILL between append and sync.
+      if (error) *error = "journal commit aborted: injected crash";
+      return false;
+  }
+  if (std::fflush(f_) != 0) {
+    if (error) {
+      *error = std::string("journal flush failed: ") + std::strerror(errno);
     }
     return false;
   }
@@ -344,8 +384,7 @@ bool Journal::append(uint64_t epoch, const Batch& b, std::string* error) {
     return false;
   }
 #endif
-  last_epoch_ = epoch;
-  ++appended_;
+  committed_epoch_ = last_epoch_;
   return true;
 }
 

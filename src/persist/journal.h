@@ -131,10 +131,12 @@ class Journal {
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  // Appends one record and flushes. `epoch` must be last_epoch() + 1 (or
-  // anything > 0 for the first record of a fresh log). False (with
-  // *error) on ordering violations and I/O failures; after an I/O failure
-  // the journal must be considered broken and no further appends made.
+  // Appends one record and commits it (flush + optional fsync) — the
+  // synchronous per-batch path, equivalent to append_buffered() + commit().
+  // `epoch` must be last_epoch() + 1 (or anything > 0 for the first record
+  // of a fresh log). False (with *error) on ordering violations and I/O
+  // failures; after an I/O failure the journal must be considered broken
+  // and no further appends made.
   //
   // Single-appender contract, machine-checked: append() and the frontier
   // accessors require the appender role — the thread that owns the WAL
@@ -144,8 +146,30 @@ class Journal {
   bool append(uint64_t epoch, const Batch& b, std::string* error)
       PDMM_REQUIRES(appender_role_);
 
+  // Group-commit pair. append_buffered() encodes + writes the record into
+  // the stdio stream WITHOUT flushing or syncing: the bytes are staged and
+  // the epoch is NOT durable until the next successful commit(). commit()
+  // flushes everything buffered since the last commit and — when
+  // Options::fsync_each is set — fsyncs ONCE for the whole group, which is
+  // the entire point: N batches share one sync instead of paying one each.
+  //
+  // Durability watermark: committed_epoch() is the last epoch known to
+  // have reached the file (and the disk, under fsync_each). A failed
+  // commit() leaves the watermark where it was and reports the error —
+  // fsync failures surface on the watermark, never as silent success —
+  // and, like append(), marks the journal broken for further use.
+  bool append_buffered(uint64_t epoch, const Batch& b, std::string* error)
+      PDMM_REQUIRES(appender_role_);
+  bool commit(std::string* error) PDMM_REQUIRES(appender_role_);
+
   uint64_t last_epoch() const PDMM_REQUIRES(appender_role_) {
     return last_epoch_;
+  }
+  // Durable frontier: epoch of the last record a successful commit() (or
+  // append()) made durable. Trails last_epoch() by the batches buffered
+  // since the last commit.
+  uint64_t committed_epoch() const PDMM_REQUIRES(appender_role_) {
+    return committed_epoch_;
   }
   uint64_t records_appended() const PDMM_REQUIRES(appender_role_) {
     return appended_;
@@ -163,13 +187,18 @@ class Journal {
           Options opt)
       : f_(f),
         last_epoch_(last_epoch),
+        committed_epoch_(last_epoch),
         tail_truncated_(tail_truncated),
         opt_(opt) {}
 
   std::FILE* f_;
   ThreadRole appender_role_;
   uint64_t last_epoch_ PDMM_GUARDED_BY(appender_role_);
+  uint64_t committed_epoch_ PDMM_GUARDED_BY(appender_role_);
   uint64_t appended_ PDMM_GUARDED_BY(appender_role_) = 0;
+  // Reused encode buffer: append_buffered() serializes every record into
+  // the same string so the steady-state append path stops allocating.
+  std::string enc_buf_ PDMM_GUARDED_BY(appender_role_);
   bool tail_truncated_;  // immutable after open
   Options opt_;
 };

@@ -3,13 +3,17 @@
 namespace pdmm {
 
 MatchViewService::MatchViewService(DynamicMatcher& matcher, Options opt)
-    : matcher_(matcher), channel_(opt.max_readers) {
+    : matcher_(matcher), channel_(opt.max_readers), hooked_(opt.install_hook) {
   // The service is constructed by the thread that drives updates (its
   // documented contract), which is exactly the matcher's updater role —
-  // hook registration is updater-only state.
+  // hook registration is updater-only state. When install_hook is off the
+  // caller (the pipelined engine) owns both publication and the hook
+  // slot, and this constructor touches neither.
   matcher_.updater_role().assert_held();
-  matcher_.set_post_batch_hook(
-      [this](const DynamicMatcher::BatchResult&) { publish_now(); });
+  if (hooked_) {
+    matcher_.set_post_batch_hook(
+        [this](const DynamicMatcher::BatchResult&) { publish_now(); });
+  }
   if (opt.publish_initial) publish_now();
 }
 
@@ -17,7 +21,7 @@ MatchViewService::~MatchViewService() {
   // Destruction happens on the updater thread after updates stopped
   // (documented contract: the service dies before the matcher).
   matcher_.updater_role().assert_held();
-  matcher_.set_post_batch_hook(nullptr);
+  if (hooked_) matcher_.set_post_batch_hook(nullptr);
 }
 
 void MatchViewService::publish_now() {

@@ -37,6 +37,12 @@ class MatchViewService {
     // when the matcher is mid-bulk-load and the first real publish should
     // wait for the first update().
     bool publish_initial = true;
+    // Install the matcher's post-batch hook so every update() republishes
+    // automatically. Disable when another component owns publication —
+    // the pipelined UpdateEngine captures views at the epoch barrier and
+    // publishes them from its own stage thread (the channel's single
+    // writer), so the hook must stay free and publish_now() unused.
+    bool install_hook = true;
   };
 
   explicit MatchViewService(DynamicMatcher& matcher)
@@ -61,6 +67,7 @@ class MatchViewService {
  private:
   DynamicMatcher& matcher_;
   ViewChannel channel_;
+  bool hooked_;  // this service owns the matcher's post-batch hook slot
 };
 
 }  // namespace pdmm

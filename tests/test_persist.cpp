@@ -272,6 +272,52 @@ TEST_F(PersistTest, JournalRoundTripsAndEnforcesEpochOrder) {
   EXPECT_EQ(j->last_epoch(), run.batches.size());
 }
 
+// Group commit batches fsyncs, never bytes: buffered appends committed in
+// groups of any size must leave a journal byte-identical to per-batch
+// append(), with the committed-epoch watermark trailing at exactly the
+// open group and catching up on each commit.
+TEST_F(PersistTest, JournalGroupCommitIsByteIdenticalToPerBatchAppend) {
+  ThreadPool pool(1);
+  const RefRun run = drive_reference(persist_config(), pool, 7);
+  std::string err;
+  {
+    auto j = Journal::open(path("per_batch"), {}, &err);
+    ASSERT_NE(j, nullptr) << err;
+    j->appender_role().assert_held();  // single-threaded test driver
+    for (size_t i = 0; i < run.batches.size(); ++i) {
+      ASSERT_TRUE(j->append(i + 1, run.batches[i], &err)) << err;
+      EXPECT_EQ(j->committed_epoch(), i + 1);
+    }
+  }
+  for (const size_t group : {2u, 3u, 7u}) {
+    const std::string jpath = path("group_" + std::to_string(group));
+    {
+      auto j = Journal::open(jpath, {}, &err);
+      ASSERT_NE(j, nullptr) << err;
+      j->appender_role().assert_held();  // single-threaded test driver
+      for (size_t i = 0; i < run.batches.size(); ++i) {
+        ASSERT_TRUE(j->append_buffered(i + 1, run.batches[i], &err)) << err;
+        EXPECT_EQ(j->last_epoch(), i + 1);
+        if ((i + 1) % group == 0) {
+          ASSERT_TRUE(j->commit(&err)) << err;
+        }
+        // The watermark only ever reflects committed groups.
+        EXPECT_EQ(j->committed_epoch(), ((i + 1) / group) * group);
+      }
+      ASSERT_TRUE(j->commit(&err)) << err;  // flush the partial tail group
+      EXPECT_EQ(j->committed_epoch(), run.batches.size());
+      EXPECT_TRUE(j->commit(&err));  // committing an empty group is a no-op
+    }
+    EXPECT_EQ(file_str(jpath), file_str(path("per_batch")))
+        << "group=" << group;
+  }
+  // The grouped journal replays like any other.
+  const JournalScan scan = persist::scan_journal(path("group_3"));
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_FALSE(scan.truncated_tail);
+  ASSERT_EQ(scan.records.size(), run.batches.size());
+}
+
 TEST_F(PersistTest, JournalTornTailIsDroppedAtEveryCutOffset) {
   ThreadPool pool(1);
   const RefRun run = drive_reference(persist_config(), pool, 6);

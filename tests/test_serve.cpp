@@ -17,6 +17,7 @@
 
 #include "core/checker.h"
 #include "core/matcher.h"
+#include "engine/update_engine.h"
 #include "parallel/epoch_reclaim.h"
 #include "serve/view_channel.h"
 #include "serve/view_service.h"
@@ -488,6 +489,87 @@ TEST(ServeHammer, ServiceHookPathUnderConcurrentReaders) {
     EXPECT_GT(results[r].acquires, 0u) << "reader " << r;
   }
   EXPECT_EQ(serve.published_epoch(), kBatches);
+  MatchingChecker::check(m);
+}
+
+// A pinned lease across pipeline overlap: a ViewHandle acquired at epoch e
+// must stay valid — internally consistent AND correct against epoch e's
+// certificate — while the pipelined engine settles, publishes, and retires
+// e+1 and e+2 behind it. Epoch reclamation may free any retired view
+// except the leased one.
+TEST(ServeHammer, PinnedLeaseSurvivesPipelineOverlap) {
+  constexpr size_t kWarmup = 6;
+  constexpr size_t kOverlap = 8;
+
+  ThreadPool pool(2, /*allow_oversubscribe=*/true);
+  DynamicMatcher m(small_config(23), pool);
+  // The test driver owns the matcher until the engine starts and after it
+  // stops; while it runs, only leased handles are touched.
+  m.updater_role().assert_held();
+  MatchViewService::Options sopt;
+  sopt.install_hook = false;  // the engine publishes from its own stage
+  MatchViewService serve(m, sopt);
+
+  // Per-epoch certificates, captured at the settle barrier (the hook runs
+  // on the settle stage thread while it owns the matcher); the publish
+  // that follows is the release that hands certs[e] to acquirers of the
+  // epoch-e view.
+  std::vector<EpochCertificate> certs(kWarmup + kOverlap + 1);
+  m.set_post_batch_hook([&](const DynamicMatcher::BatchResult&) {
+    certs[m.batch_epoch()] = live_edge_certificate(m);
+  });
+
+  ChurnStream::Options so;
+  so.n = 220;
+  so.target_edges = 460;
+  so.zipf_s = 0.5;
+  so.seed = 23;
+  ChurnStream stream(so);
+
+  engine::UpdateEngine::Options eo;
+  eo.pipelined = true;
+  eo.queue_capacity = 4;
+  {
+    engine::UpdateEngine eng(m, &serve, nullptr, eo);
+    for (size_t i = 0; i < kWarmup; ++i) {
+      ASSERT_TRUE(eng.submit(stream.next(40))) << eng.error();
+    }
+    ASSERT_TRUE(eng.drain()) << eng.error();
+    ASSERT_EQ(serve.published_epoch(), kWarmup);
+
+    // Pin a lease on epoch kWarmup, then keep the pipeline moving under
+    // it. The handle's epoch must not drift and the view must keep
+    // auditing clean against ITS epoch's certificate after every newer
+    // epoch lands.
+    ViewHandle pinned = serve.acquire();
+    ASSERT_TRUE(pinned);
+    ASSERT_EQ(pinned->epoch, kWarmup);
+    for (size_t i = 0; i < kOverlap; ++i) {
+      ASSERT_TRUE(eng.submit(stream.next(40))) << eng.error();
+      if ((i + 1) % 2 == 0) {
+        ASSERT_TRUE(eng.drain()) << eng.error();
+        EXPECT_EQ(pinned->epoch, kWarmup);
+        HammerReaderResult audit;
+        audit_view(*pinned, certs[kWarmup], audit);
+        EXPECT_TRUE(audit.consistent) << audit.error;
+        EXPECT_TRUE(audit.maximal) << audit.error;
+        // Fresh acquirers meanwhile see the new frontier.
+        ViewHandle now = serve.acquire();
+        ASSERT_TRUE(now);
+        EXPECT_EQ(now->epoch, eng.retired_epoch());
+      }
+    }
+    ASSERT_TRUE(eng.drain()) << eng.error();
+    EXPECT_EQ(serve.published_epoch(), kWarmup + kOverlap);
+    // One last audit at the pinned epoch before releasing the lease.
+    HammerReaderResult audit;
+    audit_view(*pinned, certs[kWarmup], audit);
+    EXPECT_TRUE(audit.consistent) << audit.error;
+    EXPECT_TRUE(audit.maximal) << audit.error;
+    pinned.release();
+    ASSERT_TRUE(eng.stop()) << eng.error();
+  }
+  m.set_post_batch_hook(nullptr);
   MatchingChecker::check(m);
 }
 

@@ -1,12 +1,21 @@
-// pdmm_serve: drives the concurrent read path end-to-end — one updater
-// thread applies an update stream (generated churn or a replayed trace)
-// against a DynamicMatcher while N reader threads answer queries against
-// the published MatchViews, and reports reader throughput and view
-// staleness.
+// pdmm_serve: drives the concurrent read path end-to-end — the update
+// stream (generated churn or a replayed trace) runs through the staged
+// UpdateEngine (src/engine) against a DynamicMatcher while N reader
+// threads answer queries against the published MatchViews, and reports
+// reader throughput, view staleness, and per-batch updater latency
+// percentiles (submit → durable / published / retired).
 //
 //   pdmm_serve --readers=4 --n=4096 --batches=500 --batch_size=256
 //   pdmm_serve --readers=8 --validate            # validate each new epoch
 //   pdmm_serve --trace=trace.txt --readers=4     # replay a recorded trace
+//   pdmm_serve --pipeline --journal=wal --fsync --group_commit=8
+//              # overlap settle with journal fsync + checkpoint I/O
+//
+// --pipeline runs the engine's journal/settle/publish stages on their own
+// threads; --group_commit=K amortizes one journal fsync over K batches
+// (--group_commit_us caps how long a partial group waits). Both modes
+// publish byte-identical views and journal bytes — pipelining changes
+// latency, never results.
 //
 // Durability (src/persist): --journal=FILE appends one checksummed record
 // per batch (write-ahead of nothing, behind the in-memory commit — after a
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "engine/update_engine.h"
 #include "persist/checkpoint.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
@@ -45,6 +55,7 @@
 #include "util/arg_parse.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -150,6 +161,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get_string("trace", "");
   const std::string journal_path = args.get_string("journal", "");
   const bool fsync_each = args.get_bool("fsync", false);
+  const bool pipeline = args.get_bool("pipeline", false);
+  const uint64_t group_commit = args.get_u64("group_commit", 1);
+  const uint64_t group_commit_us = args.get_u64("group_commit_us", 0);
   const std::string checkpoint_prefix = args.get_string("checkpoint", "");
   const uint64_t checkpoint_every = args.get_u64("checkpoint_every", 0);
   const uint64_t checkpoint_keep = args.get_u64("checkpoint_keep", 2);
@@ -275,11 +289,12 @@ int main(int argc, char** argv) {
 
   MatchViewService::Options sopt;
   sopt.max_readers = static_cast<size_t>(readers) * 2 + 8;
+  // The engine owns publication (its publish stage is the channel's
+  // single writer), so the service's post-batch hook stays uninstalled.
+  // The initial publish (recovered or empty state) still happens here on
+  // main, before the engine exists.
+  sopt.install_hook = false;
   MatchViewService serve(m, sopt);
-  // Single-writer contract: main is the updater thread — it alone calls
-  // update_by_endpoints() (publishing views through the hook) and, after
-  // the readers join below, it alone runs the final reclaim scan.
-  serve.channel().writer_role().assert_held();
 
   std::atomic<bool> done{false};
   std::vector<ReaderStats> stats(readers);
@@ -292,46 +307,57 @@ int main(int argc, char** argv) {
     });
   }
 
+  // The update path: journal append + group commit, settle, publish, and
+  // periodic checkpoints all run inside the UpdateEngine — inline on this
+  // thread by default, or overlapped across its stage threads with
+  // --pipeline. Either way main stops driving the matcher/journal/channel
+  // until the engine is stopped (role handoff for the engine's lifetime).
+  engine::UpdateEngine::Options eopt;
+  eopt.pipelined = pipeline;
+  eopt.group_commit = static_cast<size_t>(group_commit);
+  eopt.group_commit_us = group_commit_us;
+  eopt.checkpoint_every = checkpoint_every;
+  eopt.checkpoint_keep = static_cast<size_t>(checkpoint_keep);
+  eopt.checkpoint_durable = fsync_each;
+  eopt.checkpoint_prefix = checkpoint_prefix;
+  eopt.stream_fp = stream_fp;
+  eopt.record_latency = true;
+
   Timer t;
   uint64_t updates = 0;
-  uint64_t checkpoints_written = 0;
-  // Epoch of the newest checkpoint THIS process wrote (none yet). The
-  // shutdown checkpoint below keys off this, not off divisibility — after
-  // a --recover that consumed the whole stream the loop runs zero
-  // iterations and the final epoch still needs its checkpoint.
-  uint64_t last_ck_epoch = UINT64_MAX;
   std::string persist_error;
-  for (size_t i = skip_batches; i < trace.size(); ++i) {
-    const Batch& b = trace[i];
-    updates += b.deletions.size() + b.insertions.size();
-    m.update_by_endpoints(b.deletions, b.insertions);
-    if (journal) {
-      // Still the sole journal owner (asserted at open; re-stated here
-      // because the role does not survive the branch join).
-      journal->appender_role().assert_held();
-      if (!journal->append(m.batch_epoch(), b, &persist_error)) {
-        break;  // durability lost: stop taking updates
+  std::vector<engine::LatencySample> latency;
+  {
+    engine::UpdateEngine eng(m, &serve, journal.get(), eopt);
+    for (size_t i = skip_batches; i < trace.size(); ++i) {
+      const Batch& b = trace[i];
+      if (!eng.submit(b)) break;  // durability lost: stop taking updates
+      updates += b.deletions.size() + b.insertions.size();
+      if (throttle_us != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
       }
     }
-    if (checkpoint_every != 0 && m.batch_epoch() % checkpoint_every == 0) {
-      if (!persist::write_checkpoint_series(checkpoint_prefix, m,
-                                            checkpoint_keep, &persist_error,
-                                            fsync_each, stream_fp)) {
-        break;
-      }
-      ++checkpoints_written;
-      last_ck_epoch = m.batch_epoch();
-    }
-    if (throttle_us != 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
-    }
+    if (!eng.stop()) persist_error = eng.error();
+    latency = eng.latency_samples();
   }
-  // A final checkpoint at shutdown makes a clean restart replay-free.
-  // Written whenever a prefix is given and the loop did not just write
-  // one at this exact epoch — with --checkpoint_every=0 this is the only
-  // checkpoint (shutdown-only mode).
+  // Periodic checkpoints the engine placed: one per multiple of
+  // checkpoint_every inside the epoch range this process drove.
+  uint64_t checkpoints_written =
+      (persist_error.empty() && checkpoint_every != 0)
+          ? m.batch_epoch() / checkpoint_every -
+                static_cast<uint64_t>(skip_batches) / checkpoint_every
+          : 0;
+  // A final checkpoint at shutdown makes a clean restart replay-free —
+  // unless the engine just wrote one at this exact epoch. With
+  // --checkpoint_every=0 this is the only checkpoint (shutdown-only
+  // mode); after a --recover that consumed the whole stream the engine
+  // ran zero batches and the final epoch still needs its checkpoint. The
+  // engine is stopped, so main owns the matcher again here.
+  const bool engine_ck_at_final = checkpoint_every != 0 &&
+                                  m.batch_epoch() % checkpoint_every == 0 &&
+                                  m.batch_epoch() > skip_batches;
   if (persist_error.empty() && !checkpoint_prefix.empty() &&
-      last_ck_epoch != m.batch_epoch()) {
+      !engine_ck_at_final) {
     if (persist::write_checkpoint_series(checkpoint_prefix, m,
                                          checkpoint_keep, &persist_error,
                                          fsync_each, stream_fp)) {
@@ -369,13 +395,40 @@ int main(int argc, char** argv) {
   }
 
   ViewChannel& ch = serve.channel();
+  // The engine (the channel's writer while it ran) is stopped and the
+  // readers are joined: main is the sole remaining thread, so it holds
+  // the writer role for the final reclaim scan.
+  ch.writer_role().assert_held();
   ch.reclaim();  // readers are gone: everything but the current view frees
+  std::cout << "engine: " << (pipeline ? "pipelined" : "inline")
+            << ", group_commit=" << group_commit;
+  if (group_commit_us != 0) {
+    std::cout << " (timer " << group_commit_us << " us)";
+  }
+  std::cout << "\n";
   std::cout << "updater: " << (trace.size() - skip_batches)
             << " batches (epoch " << m.batch_epoch() << "), " << updates
             << " updates in " << update_secs << " s ("
             << static_cast<uint64_t>(static_cast<double>(updates) /
                                      std::max(update_secs, 1e-9))
             << " upd/s), |M|=" << m.matching_size() << "\n";
+  if (!latency.empty()) {
+    PercentileStats durable_us, published_us, retired_us;
+    for (const engine::LatencySample& s : latency) {
+      if (s.durable_us > 0) durable_us.add(s.durable_us);
+      if (s.published_us > 0) published_us.add(s.published_us);
+      if (s.retired_us > 0) retired_us.add(s.retired_us);
+    }
+    auto print_hist = [](const char* name, PercentileStats& st) {
+      if (st.count() == 0) return;
+      std::cout << "latency " << name << " (us): p50=" << st.median()
+                << " p90=" << st.percentile(90) << " p99="
+                << st.percentile(99) << " max=" << st.max() << "\n";
+    };
+    print_hist("published", published_us);
+    print_hist("durable", durable_us);
+    print_hist("retired", retired_us);
+  }
   std::cout << "readers: " << readers << " threads, " << sum.queries
             << " queries in " << total_secs << " s ("
             << static_cast<uint64_t>(static_cast<double>(sum.queries) /
@@ -395,8 +448,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "persist: " << journal_records
               << " journal records (last epoch " << journal_last << "), "
-              << checkpoints_written << " checkpoints"
-              << (fsync_each ? ", fsync per record" : "") << "\n";
+              << checkpoints_written << " checkpoints";
+    if (fsync_each) {
+      std::cout << (group_commit > 1
+                        ? ", fsync per group of " + std::to_string(group_commit)
+                        : std::string(", fsync per record"));
+    }
+    std::cout << "\n";
   }
   if (!persist_error.empty()) {
     std::cerr << "FAILED: persistence: " << persist_error << "\n";

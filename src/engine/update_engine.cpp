@@ -95,6 +95,7 @@ bool UpdateEngine::do_commit() {
     record_durable_locked(committed);
     cv_drain_.notify_all();
   }
+  if (opt_.on_durable) opt_.on_durable(committed);
   return fire_point(kEnginePostCommit, committed);
 }
 

@@ -67,6 +67,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -115,6 +116,13 @@ class UpdateEngine {
     std::string stream_fp;
     // Record per-epoch LatencySamples (latency_samples() after drain).
     bool record_latency = false;
+    // Fired after each successful journal commit with the new durable
+    // epoch, from the committing thread (J stage when pipelined, the
+    // caller otherwise), outside the engine's lock. Monotone and
+    // group-grained — this is the watermark a replication monitor or
+    // lag probe samples without polling durable_epoch(). Must not call
+    // back into the engine.
+    std::function<void(uint64_t durable_epoch)> on_durable;
   };
 
   // `service` (nullable) must have been constructed with

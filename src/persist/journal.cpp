@@ -8,8 +8,8 @@
 #include <sstream>
 
 #include "persist/io_util.h"
+#include "persist/journal_format.h"
 #include "util/crc32.h"
-#include "util/parse_num.h"
 #include "util/sync_point.h"
 #include "workload/trace.h"
 
@@ -24,13 +24,12 @@ namespace {
 
 using detail::read_exact;
 
-constexpr const char* kMagic = "pdmm-journal v1";
-constexpr uint64_t kMaxRecordBytes = uint64_t{1} << 32;
+constexpr const char* kMagic = kJournalMagic;
 
-// One journal record's bytes: header line + trace-encoded batch payload.
-// The CRC covers the payload; the header fields are validated by parsing
-// plus the epoch-contiguity rule. Note an inherent tail ambiguity no
-// header checksum could remove: for the FINAL record, a rotted byte and a
+// One journal record's bytes: header line + trace-encoded batch payload
+// (grammar and validation rules live in journal_format.h, shared with the
+// read-only live tailer). Note an inherent tail ambiguity no header
+// checksum could remove: for the FINAL record, a rotted byte and a
 // torn write are indistinguishable (both fail validation with nothing
 // after them), so the durability granularity at the tail is one record
 // either way — exactly the bound the flush-per-record model documents.
@@ -137,22 +136,10 @@ JournalScan scan_journal_impl(const std::string& path, bool keep_records,
     std::string rline, rpayload;
     while (std::getline(in, rline)) {
       if (!rline.empty() && rline.back() == '\r') rline.pop_back();
-      std::istringstream hs(rline);
-      std::string tag, epoch_tok, len_tok, crc_tok;
-      if (!(hs >> tag >> epoch_tok >> len_tok >> crc_tok) || tag != "rec" ||
-          (hs >> std::ws, !hs.eof())) {
-        continue;
-      }
-      uint64_t epoch = 0, len = 0, want_crc = 0;
-      if (parse_u64_strict(epoch_tok, epoch) != ParseNum::kOk ||
-          parse_u64_strict(len_tok, len) != ParseNum::kOk ||
-          parse_u64_strict(crc_tok, want_crc) != ParseNum::kOk ||
-          want_crc > UINT32_MAX || len > kMaxRecordBytes) {
-        continue;
-      }
+      RecordHeader rh;
+      if (!parse_record_header(rline, rh)) continue;
       const auto pos = in.tellg();
-      if (read_exact(in, len, rpayload) &&
-          crc32(rpayload) == static_cast<uint32_t>(want_crc)) {
+      if (read_exact(in, rh.nbytes, rpayload) && crc32(rpayload) == rh.crc) {
         return true;
       }
       in.clear();
@@ -189,40 +176,25 @@ JournalScan scan_journal_impl(const std::string& path, bool keep_records,
     const std::streampos probe_from =
         in.good() ? in.tellg() : std::streampos(-1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::istringstream hs(line);
-    std::string tag, epoch_tok, len_tok, crc_tok;
-    if (!(hs >> tag >> epoch_tok >> len_tok >> crc_tok) || tag != "rec" ||
-        (hs >> std::ws, !hs.eof())) {
+    RecordHeader rh;
+    if (!parse_record_header(line, rh)) {
       tail_fail("malformed record header '" + line + "'", probe_from);
       return out;
     }
-    uint64_t epoch = 0, len = 0, want_crc = 0;
-    if (parse_u64_strict(epoch_tok, epoch) != ParseNum::kOk ||
-        parse_u64_strict(len_tok, len) != ParseNum::kOk ||
-        parse_u64_strict(crc_tok, want_crc) != ParseNum::kOk ||
-        want_crc > UINT32_MAX || len > kMaxRecordBytes) {
-      tail_fail("malformed record header '" + line + "'", probe_from);
-      return out;
-    }
-    if (!read_exact(in, len, payload)) {
-      tail_fail("record payload truncated (epoch " + epoch_tok + ")", probe_from);
-      return out;
-    }
-    if (crc32(payload) != static_cast<uint32_t>(want_crc)) {
-      tail_fail("record checksum mismatch (epoch " + epoch_tok + ")", probe_from);
-      return out;
-    }
-    std::istringstream ps(payload);
-    std::vector<Batch> batches;
-    std::string perr;
-    if (!read_trace(ps, batches, &perr) || batches.size() != 1) {
-      tail_fail("record payload does not parse as one batch (epoch " +
-                    epoch_tok + "): " + perr,
+    const std::string epoch_tok = std::to_string(rh.epoch);
+    if (!read_exact(in, rh.nbytes, payload)) {
+      tail_fail("record payload truncated (epoch " + epoch_tok + ")",
                 probe_from);
       return out;
     }
-    if (epoch == 0 ||
-        (out.record_count != 0 && epoch != out.last_epoch + 1)) {
+    Batch batch;
+    std::string why;
+    if (!validate_record_payload(payload, rh, batch, &why)) {
+      tail_fail(why + " (epoch " + epoch_tok + ")", probe_from);
+      return out;
+    }
+    if (rh.epoch == 0 ||
+        (out.record_count != 0 && rh.epoch != out.last_epoch + 1)) {
       // A gap or regression is not a torn tail — it means records are
       // missing from the durable prefix itself. Refuse the whole file.
       out.ok = false;
@@ -232,17 +204,17 @@ JournalScan scan_journal_impl(const std::string& path, bool keep_records,
       return out;
     }
     if (sink) {
-      if (!(*sink)(JournalRecord{epoch, std::move(batches.front())})) {
+      if (!(*sink)(JournalRecord{rh.epoch, std::move(batch)})) {
         out.ok = false;
         out.error = path + ": record sink aborted the scan at epoch " +
                     epoch_tok;
         return out;
       }
-    } else if (keep_records && epoch > keep_after) {
-      out.records.push_back({epoch, std::move(batches.front())});
+    } else if (keep_records && rh.epoch > keep_after) {
+      out.records.push_back({rh.epoch, std::move(batch)});
     }
     ++out.record_count;
-    out.last_epoch = epoch;
+    out.last_epoch = rh.epoch;
     out.valid_bytes = static_cast<uint64_t>(in.tellg());
   }
   return out;
@@ -290,6 +262,17 @@ std::unique_ptr<Journal> Journal::open_scanned(const std::string& path,
     return nullptr;
   }
   const bool fresh = scan.valid_bytes == 0;
+  if (scan.truncated_tail && !opt.repair) {
+    if (error) {
+      *error = path + ": torn tail past byte " +
+               std::to_string(scan.valid_bytes) + " (" + scan.tail_error +
+               "); appending requires truncating it — re-open with "
+               "Options::repair if this process owns the journal (a LIVE "
+               "journal's torn tail is the primary's in-flight record; "
+               "repairing it would destroy data)";
+    }
+    return nullptr;
+  }
   if (scan.truncated_tail) {
     std::error_code ec;
     std::filesystem::resize_file(path, scan.valid_bytes, ec);

@@ -28,9 +28,17 @@
 // framing, length, CRC and payload parse, and stops at the first record
 // that fails — everything before it is durable, everything after is the
 // torn tail a crash left behind (at most one in-flight record, because
-// appends are sequential and flushed per record). Journal::open() runs
-// that scan and truncates the file back to the last durable byte before
+// appends are sequential and flushed per record). Scanning is always
+// side-effect-free (the file is opened read-only; a live, concurrently
+// appended journal can be scanned or tailed without perturbing a single
+// byte). Journal::open() runs that scan and — ONLY with Options::repair
+// set — truncates the file back to the last durable byte before
 // appending, so a recovered server continues the same log seamlessly.
+// Without repair, a torn tail refuses the append-open outright: physical
+// truncation is destructive exactly when the file is not ours to repair
+// (a follower pointed at the primary's LIVE journal would otherwise
+// destroy the primary's in-flight group commit), so the owner must say
+// so explicitly.
 // Mid-file rot is NOT a torn tail: when an intact record exists beyond
 // the damaged one, truncation would destroy durable data, so the scan
 // refuses the whole file (ok = false) exactly like an epoch gap.
@@ -106,6 +114,13 @@ class Journal {
     // fsync after every record (FULL durability against OS crashes) vs
     // flush-only (durable against process death, the common case).
     bool fsync_each = false;
+    // Permission to physically truncate a torn tail before appending.
+    // False (default): a torn tail fails open() with an error naming the
+    // tail — safe for any file the caller does not exclusively own (a
+    // crashed-but-restarting primary opts in; a follower or tool never
+    // does, so a mistaken append-open of a live journal cannot destroy
+    // the primary's in-flight record). Recovery paths pass true.
+    bool repair = false;
     // Fingerprint of the update stream feeding this journal. Non-empty:
     // written into a fresh journal's header, and an existing journal
     // recorded under a DIFFERENT fingerprint refuses to open (appending

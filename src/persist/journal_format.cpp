@@ -1,0 +1,54 @@
+#include "persist/journal_format.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/parse_num.h"
+#include "workload/trace.h"
+
+namespace pdmm::persist {
+
+bool parse_record_header(const std::string& line, RecordHeader& out) {
+  std::istringstream hs(line);
+  std::string tag, epoch_tok, len_tok, crc_tok;
+  if (!(hs >> tag >> epoch_tok >> len_tok >> crc_tok) || tag != "rec" ||
+      (hs >> std::ws, !hs.eof())) {
+    return false;
+  }
+  uint64_t epoch = 0, len = 0, want_crc = 0;
+  if (parse_u64_strict(epoch_tok, epoch) != ParseNum::kOk ||
+      parse_u64_strict(len_tok, len) != ParseNum::kOk ||
+      parse_u64_strict(crc_tok, want_crc) != ParseNum::kOk ||
+      want_crc > UINT32_MAX || len > kJournalMaxRecordBytes) {
+    return false;
+  }
+  out.epoch = epoch;
+  out.nbytes = len;
+  out.crc = static_cast<uint32_t>(want_crc);
+  return true;
+}
+
+bool validate_record_payload(const std::string& payload,
+                             const RecordHeader& h, Batch& out,
+                             std::string* why) {
+  if (payload.size() != h.nbytes) {
+    if (why) *why = "record payload truncated";
+    return false;
+  }
+  if (crc32(payload) != h.crc) {
+    if (why) *why = "record checksum mismatch";
+    return false;
+  }
+  std::istringstream ps(payload);
+  std::vector<Batch> batches;
+  std::string perr;
+  if (!read_trace(ps, batches, &perr) || batches.size() != 1) {
+    if (why) *why = "record payload does not parse as one batch: " + perr;
+    return false;
+  }
+  out = std::move(batches.front());
+  return true;
+}
+
+}  // namespace pdmm::persist

@@ -1,0 +1,51 @@
+// Journal record-format rules, shared between the owning appender/scanner
+// (journal.cpp) and the read-only live tailer (replicate/journal_tailer).
+//
+// Both sides MUST agree byte-for-byte on what constitutes a valid record:
+// the follower's convergence proof is "same bytes, same parser, same
+// batches", and a follower that accepted a record the primary's own
+// recovery scan would reject (or vice versa) silently forks the lineage.
+// Keeping the header grammar, the size bound, and the payload validation
+// in one place makes that agreement structural instead of disciplined.
+//
+// The format itself (see journal.h for the full story):
+//
+//   rec <epoch> <nbytes> <crc32>\n<payload of nbytes bytes>
+//
+// Header fields are strict decimal (no sign, no leading zeros beyond the
+// number itself, no trailing junk); the CRC covers the payload only; the
+// payload must parse as exactly one trace-encoded batch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/generators.h"
+
+namespace pdmm::persist {
+
+inline constexpr const char* kJournalMagic = "pdmm-journal v1";
+inline constexpr const char* kJournalStreamPrefix = "stream ";
+inline constexpr uint64_t kJournalMaxRecordBytes = uint64_t{1} << 32;
+
+struct RecordHeader {
+  uint64_t epoch = 0;
+  uint64_t nbytes = 0;
+  uint32_t crc = 0;
+};
+
+// Parses one "rec <epoch> <nbytes> <crc32>" header line (any trailing
+// '\r' already stripped by the caller). False on any grammar violation:
+// wrong tag, wrong field count, non-strict numbers, crc out of 32-bit
+// range, or nbytes past the record size bound.
+bool parse_record_header(const std::string& line, RecordHeader& out);
+
+// Validates a fully-read payload against its header — CRC first (cheap,
+// catches rot/tears before the parser sees a byte), then "parses as
+// exactly one batch". On success moves the batch into `out`; on failure
+// *why (when set) names the first check that failed.
+bool validate_record_payload(const std::string& payload,
+                             const RecordHeader& h, Batch& out,
+                             std::string* why);
+
+}  // namespace pdmm::persist

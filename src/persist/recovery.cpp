@@ -233,6 +233,10 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt) {
 std::unique_ptr<Journal> open_journal_after_recovery(
     const std::string& path, Journal::Options opt,
     const RecoveryReport& report, std::string* error) {
+  // The caller just recovered from this journal, so it IS the owner and
+  // any torn tail is its own crashed append (recover() already refused
+  // mid-file rot); grant the truncate permission on its behalf.
+  opt.repair = true;
   if (report.journal_scanned) {
     // Recovery already validated the whole log; reuse its durable
     // frontier instead of paying a second full scan. recover() has

@@ -75,6 +75,9 @@ RecoveryReport recover(DynamicMatcher& m, const RecoveryOptions& opt);
 // the log). recover() refuses shapes the append could not continue from
 // (a checkpoint ahead of a non-empty journal, epoch gaps), so the handle
 // this returns always appends contiguously at report.final_epoch + 1.
+// Opens with Journal::Options::repair regardless of `opt`: the caller
+// recovered from this journal, so it owns the file and a torn tail is
+// its own crashed append — the one situation truncation is safe.
 std::unique_ptr<Journal> open_journal_after_recovery(
     const std::string& path, Journal::Options opt,
     const RecoveryReport& report, std::string* error);

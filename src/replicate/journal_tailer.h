@@ -1,0 +1,138 @@
+// JournalTailer: a read-only cursor over a LIVE, concurrently-appended
+// journal.
+//
+// The owning scan (persist::scan_journal) answers "what is durable in
+// this file right now" for a file nobody else is writing; a follower
+// needs the same answer for a file the primary is appending to UNDER the
+// read. Two things change:
+//
+//   1. Nothing may be written. The tailer never opens the file for
+//      write, never truncates, never repairs — a follower that "fixed"
+//      the primary's in-flight record would destroy the primary's data.
+//
+//   2. An invalid record at the frontier is TRANSIENT until proven
+//      otherwise. On a dead file a failed validation is a crash tear; on
+//      a live file it is, almost always, a record the primary is midway
+//      through writing (stdio flushes are not atomic: a group commit's
+//      bytes can land in any prefix). The tailer reports kPending and the
+//      caller retries with backoff; only a positive rot proof turns the
+//      frontier error terminal.
+//
+// Rot proof on a live file: the resync probe (an intact record BEYOND the
+// suspect bytes) is how the owning scan separates mid-file rot from a
+// tear, but live it can false-positive — between our failed read and the
+// probe, the primary may have completed the suspect record AND appended
+// the next. So a probe hit triggers a fresh re-read of the suspect
+// record: if it validates now, it simply completed (deliver it); only
+// still-invalid-with-intact-beyond is rot, which is sound because the
+// appender writes sequentially and never rewrites — record N's bytes are
+// all on file before record N+1's first byte.
+//
+// Contracts enforced on every poll, not just at open: the header must be
+// this format's magic, the stream fingerprint (when expected) must match,
+// and epochs must advance by exactly 1 — a violation mid-tail (journal
+// swapped underneath, lineage fork) halts with kFailed rather than
+// feeding the follower a diverging stream.
+//
+// Durability watermark: durable_epoch() is the last record the tailer
+// fully validated. Under the journal's process-kill durability tier a
+// complete record IS durable (primary SIGKILL loses only buffered,
+// incomplete bytes), so a follower may publish views up to this watermark
+// and nothing it published can be lost by a primary crash.
+//
+// Single-threaded: one tailer, one polling thread; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "persist/journal.h"
+
+namespace pdmm::replicate {
+
+enum class TailStatus : uint8_t {
+  kRecord = 0,   // delivered >= 1 validated records to the sink
+  kIdle = 1,     // caught up: the file ends exactly at the cursor
+  kPending = 2,  // incomplete bytes at the cursor — retry after a backoff
+  kFailed = 3,   // terminal: rot, epoch gap, stream mismatch, bad header
+};
+
+const char* to_string(TailStatus s);
+
+class JournalTailer {
+ public:
+  struct Options {
+    // Non-empty: a journal recorded under a different fingerprint fails
+    // the poll (kFailed) before a single record is delivered. A journal
+    // with no recorded fingerprint is accepted (legacy tolerance, same
+    // rule as recovery).
+    std::string expected_stream;
+  };
+
+  JournalTailer(std::string path, Options opt);
+
+  JournalTailer(const JournalTailer&) = delete;
+  JournalTailer& operator=(const JournalTailer&) = delete;
+
+  // One poll: reads forward from the cursor, delivering every record that
+  // validates (in epoch order, exactly once across the tailer's lifetime)
+  // until the file runs out. The sink returning false aborts the poll
+  // with kFailed; records already delivered stay delivered and the cursor
+  // stays past them.
+  //
+  // kIdle/kPending are both "nothing new yet, ask again later"; they are
+  // split so callers can distinguish a quiet primary (idle) from one
+  // mid-write (pending) — promotion treats a *stable* pending tail as
+  // end-of-stream (the torn record was never durable) but a stable idle
+  // tail needs no such grace.
+  TailStatus poll(const persist::JournalRecordSink& sink);
+
+  // Last epoch validated and delivered (0: none yet). This is the
+  // follower's durable watermark — see the header comment.
+  uint64_t durable_epoch() const { return last_epoch_; }
+  // Byte offset just past the last validated record (the cursor).
+  uint64_t offset() const { return offset_; }
+  // File size observed by the most recent poll (0 before the first).
+  uint64_t file_size() const { return file_size_; }
+  // file_size() - offset(): unvalidated bytes at the frontier. A torn
+  // in-flight record counts, so nonzero does not mean "records waiting".
+  uint64_t bytes_behind() const {
+    return file_size_ > offset_ ? file_size_ - offset_ : 0;
+  }
+  uint64_t records_delivered() const { return records_; }
+  uint64_t polls() const { return poll_count_; }
+  // Stream fingerprint from the journal header (empty until the header
+  // has been read, or when none was recorded).
+  const std::string& stream() const { return stream_; }
+  // Terminal error after a kFailed poll (sticky: every later poll returns
+  // kFailed with the same error).
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  enum class HeaderState : uint8_t { kNone, kMagicSeen, kDone };
+
+  TailStatus fail(std::string why);
+  // Reads the magic (and, once resolvable, the optional stream line),
+  // advancing the cursor past them. Returns kRecord when the cursor is
+  // ready for records.
+  TailStatus poll_header(std::ifstream& in);
+  // 1-indexed line number of the journal line starting at `byte_offset`
+  // (counts '\n' up to it) — only computed on the failure path, where a
+  // human will read the message.
+  uint64_t line_number_at(uint64_t byte_offset) const;
+
+  const std::string path_;
+  const Options opt_;
+  HeaderState header_ = HeaderState::kNone;
+  uint64_t offset_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t last_epoch_ = 0;
+  uint64_t records_ = 0;
+  uint64_t poll_count_ = 0;
+  std::string stream_;
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace pdmm::replicate

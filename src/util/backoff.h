@@ -1,0 +1,117 @@
+// Backoff: bounded exponential retry delays with deterministic jitter.
+//
+// Every retry loop in the tree that waits on an external condition (a
+// journal tail that has not completed yet, a checkpoint file that is still
+// being renamed into place) schedules its waits through this class instead
+// of hand-rolled sleep_for loops — the raw-sleep lint rule rejects naked
+// sleeps outside this header. Centralizing the schedule buys three things:
+//
+//   * bounded growth: delays rise geometrically from Options::initial_us
+//     and saturate at Options::max_us, so a stalled condition never turns
+//     into second-long blind sleeps or a hot spin;
+//   * jitter: each delay is drawn from [d*(1-jitter), d], decorrelating
+//     pollers that woke together (two followers tailing one journal), from
+//     the instance's OWN Xoshiro256 stream — fully deterministic per seed;
+//   * injectable time: the sleeper is a function, so tests swap in a
+//     recorder and assert the exact retry schedule without wall-clock
+//     sleeps. The default sleeper is the one sanctioned sleep_for site.
+//
+// Not thread-safe: one Backoff per retrying thread (it is a cursor into a
+// schedule, like an iterator).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace pdmm::util {
+
+class Backoff {
+ public:
+  struct Options {
+    uint64_t initial_us = 500;    // first delay
+    uint64_t max_us = 100'000;    // saturation bound (>= initial_us)
+    double multiplier = 2.0;      // geometric growth factor (>= 1.0)
+    double jitter = 0.2;          // delay drawn from [d*(1-jitter), d]
+    uint64_t seed = 0x7e57ab1e;   // jitter stream seed (deterministic)
+  };
+  // Receives the delay in microseconds. Tests inject a recorder; the
+  // default performs the actual sleep.
+  using Sleeper = std::function<void(uint64_t us)>;
+
+  Backoff() : Backoff(Options()) {}
+  explicit Backoff(Options opt, Sleeper sleeper = nullptr)
+      : opt_(sanitize(opt)),
+        sleeper_(sleeper ? std::move(sleeper) : default_sleeper()),
+        rng_(opt_.seed),
+        base_us_(opt_.initial_us) {}
+
+  // Advances the schedule and returns the next (jittered) delay without
+  // sleeping — for callers that feed a deadline into a condition variable
+  // wait instead of blocking the thread outright.
+  uint64_t next_us() {
+    ++attempts_;
+    uint64_t d = base_us_;
+    if (opt_.jitter > 0.0) {
+      // u in [0,1): shave up to jitter*d off the base delay. Subtracting
+      // (rather than adding) keeps max_us a true upper bound.
+      const double u =
+          static_cast<double>(rng_() >> 11) * 0x1.0p-53;  // 53-bit mantissa
+      d -= static_cast<uint64_t>(static_cast<double>(d) * opt_.jitter * u);
+    }
+    if (d == 0) d = 1;
+    // Grow the undithered base for the next round, saturating at max_us.
+    const double grown = static_cast<double>(base_us_) * opt_.multiplier;
+    base_us_ = grown >= static_cast<double>(opt_.max_us)
+                   ? opt_.max_us
+                   : static_cast<uint64_t>(grown);
+    return d;
+  }
+
+  // next_us() handed to the sleeper: the standard "wait before retrying"
+  // call. Returns the delay that was slept, for logging.
+  uint64_t sleep() {
+    const uint64_t d = next_us();
+    sleeper_(d);
+    slept_us_ += d;
+    return d;
+  }
+
+  // Back to the initial delay — call on success so the next stall starts
+  // the schedule from the bottom. The jitter stream is NOT reset:
+  // successive stalls keep drawing fresh jitter (still deterministic for
+  // the whole sequence given the seed).
+  void reset() { base_us_ = opt_.initial_us; }
+
+  uint64_t attempts() const { return attempts_; }   // next_us/sleep calls
+  uint64_t slept_us() const { return slept_us_; }   // total via sleep()
+  const Options& options() const { return opt_; }
+
+ private:
+  static Options sanitize(Options o) {
+    if (o.initial_us == 0) o.initial_us = 1;
+    o.max_us = std::max(o.max_us, o.initial_us);
+    o.multiplier = std::max(o.multiplier, 1.0);
+    o.jitter = std::clamp(o.jitter, 0.0, 1.0);
+    return o;
+  }
+  static Sleeper default_sleeper() {
+    return [](uint64_t us) {
+      // The one sanctioned raw sleep: every retry loop funnels here.
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    };
+  }
+
+  Options opt_;
+  Sleeper sleeper_;
+  Xoshiro256 rng_;
+  uint64_t base_us_;       // undithered next delay
+  uint64_t attempts_ = 0;
+  uint64_t slept_us_ = 0;
+};
+
+}  // namespace pdmm::util

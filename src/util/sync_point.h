@@ -101,5 +101,14 @@ inline constexpr char kEnginePreCheckpoint[] = "engine.pre_checkpoint";
 //                         (arg = checkpoint epoch when known, else 0).
 inline constexpr char kJournalPreFsync[] = "journal.pre_fsync";
 inline constexpr char kCheckpointPreRename[] = "checkpoint.pre_rename";
+// Replication boundaries (replicate/replica_engine.cpp; arg = the record
+// epoch about to be applied/published, or the applied epoch for verify/
+// promote). kCrash models SIGKILL-ing the follower between applying a
+// record and publishing its view, or mid-promotion; the follower's whole
+// design burden is that every one of these states restarts cleanly.
+inline constexpr char kReplicaPreApply[] = "replica.pre_apply";
+inline constexpr char kReplicaPrePublish[] = "replica.pre_publish";
+inline constexpr char kReplicaPreVerify[] = "replica.pre_verify";
+inline constexpr char kReplicaPrePromote[] = "replica.pre_promote";
 
 }  // namespace pdmm

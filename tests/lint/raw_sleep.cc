@@ -1,0 +1,27 @@
+// lint-test-path: src/replicate/corpus.cpp
+// Corpus: raw-sleep — naked blind-wait primitives outside util/backoff.h.
+#include <chrono>
+#include <thread>
+
+void retry_loop_bad() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect-lint: raw-sleep
+  usleep(100);  // expect-lint: raw-sleep
+  struct timespec ts{0, 100};
+  nanosleep(&ts, nullptr);  // expect-lint: raw-sleep
+}
+
+void deadline_bad() {
+  auto t = std::chrono::steady_clock::now();
+  std::this_thread::sleep_until(t);  // expect-lint: raw-sleep
+}
+
+void paced_ok() {
+  // lint:allow(raw-sleep) fixed pacing between probes, not a retry loop
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void commented_ok() {
+  // std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const char* s = "sleep_for(";
+  (void)s;
+}

@@ -364,11 +364,25 @@ TEST_F(PersistTest, JournalTornTailIsDroppedAtEveryCutOffset) {
     }
     // A torn tail must be flagged unless the cut landed on a boundary.
     EXPECT_EQ(scan.truncated_tail, scan.valid_bytes != cut);
+    // Scanning is read-only: the torn file's bytes are untouched — a
+    // live journal can be scanned mid-append without perturbing it.
+    EXPECT_EQ(file_str(cpath), bytes.substr(0, cut));
+    if (scan.truncated_tail) {
+      // Append-open without explicit repair permission refuses the torn
+      // tail (truncating a file we might not own destroys data) and the
+      // bytes again stay untouched.
+      EXPECT_EQ(Journal::open(cpath, {}, &err), nullptr);
+      EXPECT_NE(err.find("torn tail"), std::string::npos) << err;
+      EXPECT_EQ(file_str(cpath), bytes.substr(0, cut));
+    }
 
-    // Reopening truncates the tear and appends cleanly. When the cut is
-    // the full file, the journal is already complete — append the next
-    // epoch past the recorded ones instead of re-appending a batch.
-    auto j = Journal::open(cpath, {}, &err);
+    // Reopening with repair truncates the tear and appends cleanly. When
+    // the cut is the full file, the journal is already complete — append
+    // the next epoch past the recorded ones instead of re-appending a
+    // batch.
+    Journal::Options repair_opt;
+    repair_opt.repair = true;
+    auto j = Journal::open(cpath, repair_opt, &err);
     ASSERT_NE(j, nullptr) << err;
     j->appender_role().assert_held();  // single-threaded test driver
     const uint64_t resume = j->last_epoch();

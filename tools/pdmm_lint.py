@@ -29,6 +29,14 @@ Rules (each can be waived per-site, see WAIVERS below):
                      `// tsa:` comment within the 10 preceding lines giving
                      the happens-before argument the analysis cannot see.
 
+  raw-sleep          sleep_for / sleep_until / usleep / nanosleep outside
+                     src/util/backoff.h. Retry/poll waits go through
+                     util::Backoff (bounded exponential schedule, jitter,
+                     injectable sleeper) so stalls never turn into blind
+                     sleeps and tests can pin the exact retry schedule.
+                     Fixed pacing that is genuinely not a retry loop is
+                     waived per-site with a reason.
+
 WAIVERS
   A site is waived with `// lint:allow(<rule>) <reason>` on the flagged
   line or up to 3 lines above it. The reason is mandatory: a waiver without
@@ -65,6 +73,7 @@ RULES = (
     "assert-recoverable",
     "raw-alloc",
     "tsa-rationale",
+    "raw-sleep",
 )
 
 # Files where each rule does not apply (repo-relative, prefix match for
@@ -80,6 +89,7 @@ RAW_ALLOC_HOME = (
 ASSERT_RECOVERABLE_SCOPE = ("src/persist/",)
 ASSERT_RECOVERABLE_FILES_RE = re.compile(r"^src/workload/trace[^/]*$")
 TSA_HOME = ("src/util/thread_annotations.h",)
+RAW_SLEEP_HOME = ("src/util/backoff.h",)
 
 NAKED_PARSE_RE = re.compile(
     r"\b(?:std::)?"
@@ -93,6 +103,10 @@ ASSERT_RE = re.compile(r"\bPDMM_ASSERT(?:_MSG)?\s*\(")
 NEW_RE = re.compile(r"(?:^|[^:\w])new\b(?!\s*\[\]\s*\()|::new\b")
 MALLOC_RE = re.compile(r"\b(?:malloc|calloc|realloc|aligned_alloc)\s*\(")
 TSA_MACRO_RE = re.compile(r"\bPDMM_NO_THREAD_SAFETY_ANALYSIS\b")
+# Bare `sleep(` is deliberately not matched (too many false positives on
+# member functions like Backoff::sleep()); the POSIX/std spellings below
+# cover every blind-wait primitive the tree could reach for.
+RAW_SLEEP_RE = re.compile(r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(")
 TSA_COMMENT_RE = re.compile(r"//.*\btsa:")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([^)]*)\)\s*(.*)")
 EXPECT_RE = re.compile(r"expect-lint:\s*([\w,\- ]+)")
@@ -254,6 +268,12 @@ def lint_file(rel: str, raw_lines: list[str]) -> list[Finding]:
                     "raw allocation outside the container/arena allowlist "
                     "— use containers, the arena, or make_unique in an "
                     "allowlisted file")
+
+        if RAW_SLEEP_RE.search(cl) and rel not in RAW_SLEEP_HOME:
+            fn = RAW_SLEEP_RE.search(cl).group(1)
+            add(i, "raw-sleep",
+                f"{fn}() outside util/backoff.h — retry/poll waits go "
+                "through util::Backoff (waive fixed pacing with a reason)")
 
         if (TSA_MACRO_RE.search(cl) and not is_directive
                 and rel not in TSA_HOME):

@@ -13,6 +13,13 @@
 //       # kill-and-recover CI job byte-compares this against the
 //       # recovered snapshot — replay determinism makes them identical.
 //
+//   pdmm_recover --checkpoint=ck --journal=wal --verify_checkpoint=ck.400
+//       # integrity audit: recover as usual, then byte-compare the
+//       # recovered snapshot at that checkpoint's epoch against the
+//       # checkpoint file's own snapshot section. A mismatch means the
+//       # journal and the checkpoint series disagree about the same epoch
+//       # — the divergence a halted follower asks the operator to audit.
+//
 // In recovery mode the matcher Config comes from the newest readable
 // checkpoint's meta section; with --journal only (no checkpoint), pass
 // the Config flags explicitly, defaults mirror pdmm_serve's (its --seed=S
@@ -40,7 +47,38 @@ Config config_from_flags(ArgParse& args) {
   return cfg;
 }
 
-int finish(DynamicMatcher& m, bool check, const std::string& out_path) {
+int finish(DynamicMatcher& m, bool check, const std::string& verify_ck,
+           const std::string& out_path) {
+  if (!verify_ck.empty()) {
+    persist::CheckpointData ck;
+    std::string err;
+    if (!persist::read_checkpoint_file(verify_ck, ck, &err)) {
+      std::cerr << "cannot read checkpoint to verify: " << err << "\n";
+      return 1;
+    }
+    if (ck.epoch() != m.batch_epoch()) {
+      std::cerr << "cannot verify: this state is at epoch "
+                << m.batch_epoch() << " but " << verify_ck
+                << " records epoch " << ck.epoch()
+                << "; produce the matching state (--replay_trace with "
+                   "--epoch=" << ck.epoch() << ", or a journal that ends "
+                   "there)\n";
+      return 1;
+    }
+    std::ostringstream os;
+    if (!m.save(os)) {
+      std::cerr << "cannot serialize state for verification\n";
+      return 1;
+    }
+    if (os.str() != ck.snapshot) {
+      std::cerr << "DIVERGENCE: state at epoch " << m.batch_epoch()
+                << " is NOT byte-identical to " << verify_ck
+                << " — the journal lineage and this checkpoint disagree\n";
+      return 1;
+    }
+    std::cout << "verify: " << verify_ck
+              << " is byte-identical at epoch " << ck.epoch() << "\n";
+  }
   if (check) {
     MatchingChecker::check(m);  // aborts with a message on any violation
     std::cout << "checker: clean\n";
@@ -69,6 +107,7 @@ int main(int argc, char** argv) {
   const std::string expected_stream = args.get_string("stream", "");
   const uint64_t replay_epoch = args.get_u64("epoch", 0);
   const bool check = args.get_bool("check", false);
+  const std::string verify_ck = args.get_string("verify_checkpoint", "");
   const std::string out_path = args.get_string("out", "");
   const uint64_t threads = args.get_u64("threads", 0);
   Config flag_cfg = config_from_flags(args);
@@ -100,7 +139,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "replayed " << replay_epoch << " batches, final epoch "
               << m.batch_epoch() << ", |M|=" << m.matching_size() << "\n";
-    return finish(m, check, out_path);
+    return finish(m, check, verify_ck, out_path);
   }
 
   if (checkpoint_prefix.empty() && journal_path.empty()) {
@@ -153,5 +192,5 @@ int main(int argc, char** argv) {
   std::cout << "final epoch " << rep.final_epoch
             << ", |M|=" << m.matching_size() << ", edges "
             << m.graph().num_edges() << "\n";
-  return finish(m, check, out_path);
+  return finish(m, check, verify_ck, out_path);
 }

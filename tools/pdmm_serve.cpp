@@ -31,6 +31,27 @@
 //   pdmm_serve --trace=t.txt --journal=wal --checkpoint=ck
 //              --checkpoint_every=100 --recover  # resumes where durable
 //
+// Replication (src/replicate): --follow=JOURNAL runs this process as a
+// read-only FOLLOWER of a live primary — it bootstraps from the primary's
+// checkpoint series (--checkpoint=PREFIX, read-only), then tails the
+// primary's journal as it is appended, applying and publishing each
+// durable record; readers serve against the follower's views exactly as
+// against a primary's. The follower never writes a byte of the primary's
+// artifacts, cross-checks its state byte-for-byte against every primary
+// checkpoint it passes (divergence halts loudly), and prints health/lag
+// lines (--health_every_ms). With --promote=SEGMENT, once the tail goes
+// quiet for --idle_exit_ms the follower promotes: drains the tail, writes
+// a promotion checkpoint into the series, opens SEGMENT as a fresh
+// journal, and continues serving the REMAINDER of the update stream as
+// the writing primary:
+//
+//   # terminal 1 (primary):
+//   pdmm_serve --trace=t.txt --journal=wal --checkpoint=ck
+//              --checkpoint_every=100 --throttle_us=2000
+//   # terminal 2 (follower, same workload flags):
+//   pdmm_serve --trace=t.txt --follow=wal --checkpoint=ck
+//              --promote=wal2 --idle_exit_ms=2000
+//
 // Each reader loops: acquire the latest view, sample its staleness
 // (published epoch minus the view's), run --queries_per_view random
 // queries (matched_edge_of / level_of / is_matched round-trips), release,
@@ -51,8 +72,10 @@
 #include "persist/checkpoint.h"
 #include "persist/journal.h"
 #include "persist/recovery.h"
+#include "replicate/replica_engine.h"
 #include "serve/view_service.h"
 #include "util/arg_parse.h"
+#include "util/backoff.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -169,13 +192,49 @@ int main(int argc, char** argv) {
   const uint64_t checkpoint_keep = args.get_u64("checkpoint_keep", 2);
   const bool recover_first = args.get_bool("recover", false);
   const uint64_t throttle_us = args.get_u64("throttle_us", 0);
+  const std::string follow_path = args.get_string("follow", "");
+  const std::string promote_path = args.get_string("promote", "");
+  const uint64_t follow_until_epoch = args.get_u64("follow_until_epoch", 0);
+  const uint64_t idle_exit_ms = args.get_u64("idle_exit_ms", 0);
+  const uint64_t health_every_ms = args.get_u64("health_every_ms", 1000);
+  const uint64_t poll_init_us = args.get_u64("poll_init_us", 500);
+  const uint64_t poll_max_us = args.get_u64("poll_max_us", 50'000);
   args.finish();
+  const bool follow_mode = !follow_path.empty();
   if (checkpoint_every != 0 && checkpoint_prefix.empty()) {
     std::cerr << "--checkpoint_every requires --checkpoint=PREFIX\n";
     return 2;
   }
   if (recover_first && checkpoint_prefix.empty() && journal_path.empty()) {
     std::cerr << "--recover requires --checkpoint and/or --journal\n";
+    return 2;
+  }
+  if (follow_mode && !journal_path.empty()) {
+    std::cerr << "--follow tails the primary's journal read-only and takes "
+                 "no --journal of its own (--promote=SEGMENT names the "
+                 "fresh segment a promotion writes)\n";
+    return 2;
+  }
+  if (follow_mode && recover_first) {
+    std::cerr << "--follow bootstraps from the primary's checkpoints "
+                 "itself; --recover is the primary's restart path\n";
+    return 2;
+  }
+  if (!promote_path.empty() && !follow_mode) {
+    std::cerr << "--promote requires --follow\n";
+    return 2;
+  }
+  if (!promote_path.empty() && checkpoint_prefix.empty()) {
+    std::cerr << "--promote requires --checkpoint=PREFIX (the promotion "
+                 "checkpoint chains the new journal segment onto the dead "
+                 "primary's lineage)\n";
+    return 2;
+  }
+  if (!promote_path.empty() && idle_exit_ms == 0 &&
+      follow_until_epoch == 0) {
+    std::cerr << "--promote needs a takeover trigger: --idle_exit_ms=N "
+                 "(promote once the primary's journal goes quiet) and/or "
+                 "--follow_until_epoch=N\n";
     return 2;
   }
 
@@ -307,6 +366,91 @@ int main(int argc, char** argv) {
     });
   }
 
+  // ---- Follower phase (--follow) -----------------------------------------
+  // Main tails the primary's journal, applying + publishing each durable
+  // record, while the readers above serve the follower's views. Ends at
+  // --follow_until_epoch, after --idle_exit_ms without progress, or never.
+  bool promoted = false;
+  replicate::ReplicaHealth follow_health;
+  if (follow_mode) {
+    const auto reader_bailout = [&](const std::string& why) {
+      std::cerr << "FAILED: follower: " << why << "\n";
+      // mo: release — same pairing as the normal shutdown below.
+      done.store(true, std::memory_order_release);
+      for (auto& th : reader_threads) th.join();
+      return 1;
+    };
+    replicate::ReplicaOptions ropts;
+    ropts.journal_path = follow_path;
+    ropts.checkpoint_prefix = checkpoint_prefix;
+    ropts.expected_stream = stream_fp;
+    ropts.backoff.initial_us = poll_init_us;
+    ropts.backoff.max_us = poll_max_us;
+    replicate::ReplicaEngine replica(m, &serve, ropts);
+    std::string err;
+    if (!replica.bootstrap(&err)) return reader_bailout(err);
+    std::cout << "follower: bootstrapped at epoch " << m.batch_epoch()
+              << ", tailing " << follow_path << "\n";
+
+    using Clock = std::chrono::steady_clock;
+    const auto ms_since = [](Clock::time_point t) {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - t)
+              .count());
+    };
+    util::Backoff poll_backoff(ropts.backoff);
+    auto last_progress = Clock::now();
+    auto last_health = Clock::now();
+    for (;;) {
+      const replicate::TailStatus s = replica.step();
+      if (s == replicate::TailStatus::kFailed) {
+        return reader_bailout(replica.error());
+      }
+      if (s == replicate::TailStatus::kRecord) {
+        last_progress = Clock::now();
+        poll_backoff.reset();
+      }
+      if (health_every_ms != 0 && ms_since(last_health) >= health_every_ms) {
+        std::cout << "follow: " << replica.health().format() << "\n";
+        last_health = Clock::now();
+      }
+      if (follow_until_epoch != 0 &&
+          m.batch_epoch() >= follow_until_epoch) {
+        break;
+      }
+      if (idle_exit_ms != 0 && ms_since(last_progress) >= idle_exit_ms) {
+        break;
+      }
+      if (s != replicate::TailStatus::kRecord) poll_backoff.sleep();
+    }
+    follow_health = replica.health();
+    std::cout << "follow: " << follow_health.format() << "\n";
+
+    if (!promote_path.empty()) {
+      replicate::ReplicaEngine::PromoteOptions po;
+      po.journal_path = promote_path;
+      po.checkpoint_keep = static_cast<size_t>(checkpoint_keep);
+      po.fsync = fsync_each;
+      if (!replica.promote(po, journal, &err)) return reader_bailout(err);
+      promoted = true;
+      std::cout << "promoted: epoch " << m.batch_epoch()
+                << ", fresh journal segment " << promote_path
+                << ", checkpoint " << checkpoint_prefix << "."
+                << m.batch_epoch() << "\n";
+      if (m.batch_epoch() > trace.size()) {
+        return reader_bailout(
+            "promoted epoch " + std::to_string(m.batch_epoch()) +
+            " is beyond the " + std::to_string(trace.size()) +
+            "-batch update stream (wrong trace for this lineage?)");
+      }
+      // The engine below continues the stream as the writing primary.
+      skip_batches = static_cast<size_t>(m.batch_epoch());
+    } else {
+      skip_batches = trace.size();  // follow-only: nothing left to submit
+    }
+  }
+
   // The update path: journal append + group commit, settle, publish, and
   // periodic checkpoints all run inside the UpdateEngine — inline on this
   // thread by default, or overlapped across its stage threads with
@@ -334,6 +478,8 @@ int main(int argc, char** argv) {
       if (!eng.submit(b)) break;  // durability lost: stop taking updates
       updates += b.deletions.size() + b.insertions.size();
       if (throttle_us != 0) {
+        // lint:allow(raw-sleep) fixed --throttle_us pacing between
+        // submits, not a retry wait — there is no condition to back off on
         std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
       }
     }
@@ -343,7 +489,8 @@ int main(int argc, char** argv) {
   // Periodic checkpoints the engine placed: one per multiple of
   // checkpoint_every inside the epoch range this process drove.
   uint64_t checkpoints_written =
-      (persist_error.empty() && checkpoint_every != 0)
+      (persist_error.empty() && checkpoint_every != 0 &&
+       (!follow_mode || promoted))
           ? m.batch_epoch() / checkpoint_every -
                 static_cast<uint64_t>(skip_batches) / checkpoint_every
           : 0;
@@ -356,8 +503,10 @@ int main(int argc, char** argv) {
   const bool engine_ck_at_final = checkpoint_every != 0 &&
                                   m.batch_epoch() % checkpoint_every == 0 &&
                                   m.batch_epoch() > skip_batches;
+  // A pure follower never writes into the primary's checkpoint series —
+  // only a promoted one (now the owner) does.
   if (persist_error.empty() && !checkpoint_prefix.empty() &&
-      !engine_ck_at_final) {
+      !engine_ck_at_final && (!follow_mode || promoted)) {
     if (persist::write_checkpoint_series(checkpoint_prefix, m,
                                          checkpoint_keep, &persist_error,
                                          fsync_each, stream_fp)) {
@@ -400,6 +549,10 @@ int main(int argc, char** argv) {
   // the writer role for the final reclaim scan.
   ch.writer_role().assert_held();
   ch.reclaim();  // readers are gone: everything but the current view frees
+  if (follow_mode) {
+    std::cout << "follower: " << follow_health.format()
+              << (promoted ? " (promoted to primary)" : "") << "\n";
+  }
   std::cout << "engine: " << (pipeline ? "pipelined" : "inline")
             << ", group_commit=" << group_commit;
   if (group_commit_us != 0) {

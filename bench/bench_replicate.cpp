@@ -1,4 +1,4 @@
-// E19: journal-shipping replication — follower lag distribution and
+// E22: journal-shipping replication — follower lag distribution and
 // catch-up throughput.
 //
 // A live follower (src/replicate) tails the primary's journal and applies
@@ -242,7 +242,7 @@ void run(Ctx& ctx) {
 }
 
 [[maybe_unused]] const Registrar registrar{
-    "replicate", "E19",
+    "replicate", "E22",
     "journal-shipping replication: follower lag distribution vs primary "
     "group-commit cadence and update pacing, plus cold catch-up replay "
     "throughput",

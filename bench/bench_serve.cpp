@@ -1,29 +1,17 @@
-// E17: concurrent read-view serving — reader throughput under update churn,
-// and updater latency under durability.
+// E17: concurrent read-view serving — reader throughput under update churn.
 // Readers acquire published MatchViews and run point queries while the
 // updater applies batches; acquisition is lock-free and queries are
 // wait-free, so aggregate queries/s should scale with the reader count and
 // the updater's own throughput (work/rounds counters) should be unaffected
-// by however many readers are attached. The second sweep drives the same
-// stream through the staged UpdateEngine with per-record fsync durability
-// and compares the synchronous engine (one inline fsync per batch) against
-// the pipelined engine (fsync overlapped on the journal stage, amortized
-// over a commit group): the machine-independent counters must not move,
-// while the submit-to-published latency percentiles show where the fsync
-// cost went.
-#include <unistd.h>
-
+// by however many readers are attached. (The durable-engine latency sweep
+// that used to ride along here is its own experiment now:
+// bench_engine_latency.cpp, E21.)
 #include <atomic>
-#include <cstdio>
-#include <filesystem>
 #include <thread>
 
 #include "bench_common.h"
-#include "engine/update_engine.h"
-#include "persist/journal.h"
 #include "serve/view_service.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace pdmm::bench {
 namespace {
@@ -167,118 +155,6 @@ void run(Ctx& ctx) {
       "queries/s should grow ~linearly with readers until the cores run "
       "out; work/rounds must not move with the reader count (the update "
       "path never synchronizes with readers)");
-
-  // Updater latency under durability: the same churn stream through the
-  // UpdateEngine, journaling every batch with fsync. "sync" is the
-  // synchronous reference engine paying one inline fsync per batch; the
-  // pipelined points move the fsync off the settle path and (with
-  // group_commit > 1) amortize it over a group.
-  struct EngineCfg {
-    const char* engine;
-    bool pipelined;
-    uint64_t group_commit;
-  };
-  const EngineCfg engine_cfgs[] = {
-      {"sync", false, 1},
-      {"pipelined", true, 1},
-      {"pipelined", true, 8},
-  };
-  const std::string wal_base =
-      (std::filesystem::temp_directory_path() /
-       ("pdmm_bench_serve." + std::to_string(::getpid()) + ".wal"))
-          .string();
-  size_t wal_seq = 0;
-  for (const EngineCfg& ec : engine_cfgs) {
-    ctx.point(
-        {p("engine", ec.engine), p("group_commit", ec.group_commit),
-         p("k", batch_size)},
-        [&] {
-          ThreadPool pool(ctx.threads(0));
-          Config cfg;
-          cfg.max_rank = 2;
-          cfg.seed = ctx.seed(18);
-          cfg.initial_capacity = 1ull << (ctx.smoke() ? 15 : 22);
-          cfg.auto_rebuild = false;
-          DynamicMatcher m(cfg, pool);
-          // The bench driver owns the matcher until the engine starts.
-          m.updater_role().assert_held();
-
-          ChurnStream stream(so);
-          warm(m, stream, warm_updates, 1024);
-
-          MatchViewService::Options sopt;
-          sopt.max_readers = 8;
-          sopt.install_hook = false;  // the engine publishes
-          MatchViewService serve(m, sopt);
-
-          const std::string wal = wal_base + std::to_string(wal_seq++);
-          std::remove(wal.c_str());
-          persist::Journal::Options jopt;
-          jopt.fsync_each = true;
-          std::string err;
-          auto journal = persist::Journal::open(wal, jopt, &err);
-          if (!journal) std::abort();
-
-          // Counter capture at the settle barrier (settle-stage thread);
-          // read back only after stop() joins the stages.
-          uint64_t work = 0, rounds = 0, max_batch_rounds = 0;
-          m.set_post_batch_hook(
-              [&](const DynamicMatcher::BatchResult& res) {
-                work += res.work;
-                rounds += res.rounds;
-                max_batch_rounds = std::max(max_batch_rounds, res.rounds);
-              });
-
-          engine::UpdateEngine::Options eopt;
-          eopt.pipelined = ec.pipelined;
-          // Shallow ingest queue so submit-relative latency measures the
-          // pipeline depth, not an 8-deep backlog racing ahead of S.
-          eopt.queue_capacity = 2;
-          eopt.group_commit = static_cast<size_t>(ec.group_commit);
-          eopt.record_latency = true;
-
-          Sample s;
-          PercentileStats durable_us, published_us;
-          Timer t;
-          {
-            engine::UpdateEngine eng(m, &serve, journal.get(), eopt);
-            for (size_t i = 0; i < batches; ++i) {
-              const Batch b = stream.next(batch_size);
-              s.updates += b.deletions.size() + b.insertions.size();
-              if (!eng.submit(b)) std::abort();
-            }
-            if (!eng.stop()) std::abort();
-            s.seconds = t.seconds();
-            for (const engine::LatencySample& l : eng.latency_samples()) {
-              durable_us.add(l.durable_us);
-              published_us.add(l.published_us);
-            }
-          }
-          m.set_post_batch_hook(nullptr);
-          std::remove(wal.c_str());
-
-          s.work = work;
-          s.rounds = rounds;
-          s.max_batch_rounds = max_batch_rounds;
-          s.metrics = {
-              {"published_p50_us", published_us.median()},
-              {"published_p99_us", published_us.percentile(99)},
-              {"durable_p50_us", durable_us.median()},
-              {"durable_p99_us", durable_us.percentile(99)},
-              {"us_per_update", us_per_update(s.seconds, s.updates)},
-          };
-          return s;
-        });
-  }
-  ctx.note(
-      "work/rounds must be identical across the three engine points "
-      "(pipelining changes schedules, never results). The headline is "
-      "group_commit=8 vs group_commit=1 under fsync: one sync covers 8 "
-      "batches, so durable_p50_us and us_per_update both drop — the "
-      "steeper the device's sync cost, the larger the gap. Sync-engine "
-      "latency is submit-to-retire of a single batch (submit blocks), so "
-      "pipelined points carry queueing on top; they win on throughput "
-      "(us_per_update), and on latency once fsync dominates the batch");
 }
 
 [[maybe_unused]] const Registrar registrar{

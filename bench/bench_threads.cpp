@@ -3,8 +3,14 @@
 // with cores. Two batch regimes: the small-batch points measure fork/join
 // overhead (parallelism has little to amortize it), the large-batch
 // scenario is where the paper's polylog-depth phases have real width and
-// thread scaling must pay. On a single-core CI box the timing points are
-// flat — the counter invariance is still the meaningful check.
+// thread scaling must pay. The pool opts into oversubscription so every
+// requested width genuinely runs that many workers even on a small box
+// (the determinism suite uses the same trick): on such a box the timing
+// points are flat-to-worse past the core count — hw_threads records the
+// machine's width so readers can tell real scaling from oversubscribed
+// counter-invariance evidence.
+#include <thread>
+
 #include "bench_common.h"
 
 namespace pdmm::bench {
@@ -23,7 +29,7 @@ void run(Ctx& ctx) {
       const auto sp = ctx.point(
           {p("batch", batch), p("threads", static_cast<uint64_t>(threads))},
           [&, threads] {
-            ThreadPool pool(threads);
+            ThreadPool pool(threads, /*allow_oversubscribe=*/true);
             Config cfg;
             cfg.max_rank = 2;
             cfg.seed = ctx.seed(81);
@@ -38,10 +44,11 @@ void run(Ctx& ctx) {
             warm(m, stream, ctx.warm(3 * so.target_edges), batch);
             const DriveResult r = drive(m, stream, batches, batch);
             Sample s = to_sample(r);
-            // effective_threads records what actually ran: the pool clamps
-            // to the hardware concurrency, so on a small box several
-            // requested counts coincide — the JSON must say so rather
-            // than present identical serial runs as a scaling curve.
+            // effective_threads records the worker count that actually
+            // ran (the oversubscribing pool honors the request), and
+            // hw_threads the machine's width; points past hw_threads are
+            // concurrency/counter-invariance evidence, not a scaling
+            // curve, and the JSON says so rather than hiding it.
             s.metrics = {{"us_per_batch",
                           r.seconds * 1e6 / static_cast<double>(batches)},
                          {"work_per_batch", per_batch(r.work, batches)},
@@ -49,7 +56,10 @@ void run(Ctx& ctx) {
                          {"matching",
                           static_cast<double>(m.matching_size())},
                          {"effective_threads",
-                          static_cast<double>(pool.num_threads())}};
+                          static_cast<double>(pool.num_threads())},
+                         {"hw_threads",
+                          static_cast<double>(
+                              std::thread::hardware_concurrency())}};
             return s;
           });
       if (threads == 1) {

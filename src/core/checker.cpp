@@ -27,17 +27,29 @@ void MatchingChecker::check(const DynamicMatcher& m) {
   const HyperedgeRegistry& reg = m.reg_;
   const Level top = m.scheme_.top_level();
 
+  // --- SoA layout integrity: the hot lanes (core/vertex_soa.h) must cover
+  // exactly the cold per-vertex structs, lane sizes in lockstep. Every hot
+  // read below goes through m.vhot_, so the per-vertex/per-edge walks
+  // cross-validate the hot scalars against the cold containers throughout.
+  PDMM_ASSERT_MSG(m.vhot_.size() == m.verts_.size(),
+                  "SoA hot arrays out of lockstep with cold vertex structs");
+  PDMM_ASSERT(m.vhot_.level_lane_size() == m.verts_.size());
+  PDMM_ASSERT(m.vhot_.matched_lane_size() == m.verts_.size());
+  PDMM_ASSERT(m.vhot_.s_mask_lane_size() == m.verts_.size());
+
   // --- per-vertex invariants ---
   for (Vertex v = 0; v < m.verts_.size(); ++v) {
     const auto& vs = m.verts_[v];
-    PDMM_ASSERT(vs.level >= kUnmatchedLevel && vs.level <= top);
+    const Level vl = m.vhot_.level(v);
+    const EdgeId vm = m.vhot_.matched(v);
+    PDMM_ASSERT(vl >= kUnmatchedLevel && vl <= top);
     // Invariant 3.1(1): level -1 iff unmatched (between batches).
-    PDMM_ASSERT_MSG((vs.level == kUnmatchedLevel) == (vs.matched == kNoEdge),
+    PDMM_ASSERT_MSG((vl == kUnmatchedLevel) == (vm == kNoEdge),
                     "vertex level -1 must coincide with being unmatched");
-    if (vs.matched != kNoEdge) {
-      PDMM_ASSERT(reg.alive(vs.matched));
-      PDMM_ASSERT(m.eflags_[vs.matched] & DynamicMatcher::kMatched);
-      const auto eps = reg.endpoints(vs.matched);
+    if (vm != kNoEdge) {
+      PDMM_ASSERT(reg.alive(vm));
+      PDMM_ASSERT(m.eflags_[vm] & DynamicMatcher::kMatched);
+      const auto eps = reg.endpoints(vm);
       PDMM_ASSERT_MSG(std::find(eps.begin(), eps.end(), v) != eps.end(),
                       "M(v) must contain v");
     }
@@ -45,13 +57,13 @@ void MatchingChecker::check(const DynamicMatcher& m) {
     for (EdgeId e : vs.owned.items()) {
       PDMM_ASSERT(reg.alive(e));
       PDMM_ASSERT_MSG(m.eowner_[e] == v, "owned-set / owner mismatch");
-      PDMM_ASSERT_MSG(m.elevel_[e] == vs.level,
+      PDMM_ASSERT_MSG(m.elevel_[e] == vl,
                       "owned edge level must equal owner level");
     }
     // A(v, l): correct level labels, only levels >= l(v), never owner.
     for (const auto& ls : vs.a_sets) {
       PDMM_ASSERT_MSG(!ls.set.empty(), "empty A(v,l) sets must be pruned");
-      PDMM_ASSERT_MSG(ls.level >= std::max(vs.level, Level{0}) &&
+      PDMM_ASSERT_MSG(ls.level >= std::max(vl, Level{0}) &&
                           ls.level <= top,
                       "A(v,l) exists only for l(v) <= l <= L");
       for (size_t i = 0; i < ls.set.size(); ++i) {
@@ -100,8 +112,8 @@ void MatchingChecker::check(const DynamicMatcher& m) {
     PDMM_ASSERT(lvl >= 0 && lvl <= top);
     PDMM_ASSERT(std::find(eps.begin(), eps.end(), owner) != eps.end());
     Level maxl = kUnmatchedLevel;
-    for (Vertex u : eps) maxl = std::max(maxl, m.verts_[u].level);
-    PDMM_ASSERT_MSG(m.verts_[owner].level == maxl,
+    for (Vertex u : eps) maxl = std::max(maxl, m.vhot_.level(u));
+    PDMM_ASSERT_MSG(m.vhot_.level(owner) == maxl,
                     "owner must be a max-level endpoint");
     PDMM_ASSERT_MSG(lvl == maxl, "edge level must equal max endpoint level");
     PDMM_ASSERT(m.verts_[owner].owned.contains(e));
@@ -116,15 +128,15 @@ void MatchingChecker::check(const DynamicMatcher& m) {
       ++matched_count;
       // Invariant 3.1(2): all endpoints at the edge's level, matched to it.
       for (Vertex u : eps) {
-        PDMM_ASSERT_MSG(m.verts_[u].level == lvl,
+        PDMM_ASSERT_MSG(m.vhot_.level(u) == lvl,
                         "matched edge endpoint at wrong level");
-        PDMM_ASSERT_MSG(m.verts_[u].matched == e,
+        PDMM_ASSERT_MSG(m.vhot_.matched(u) == e,
                         "matched edge endpoint not matched to it");
       }
     } else {
       // Maximality: some endpoint is matched.
       bool covered = false;
-      for (Vertex u : eps) covered |= m.verts_[u].matched != kNoEdge;
+      for (Vertex u : eps) covered |= m.vhot_.matched(u) != kNoEdge;
       PDMM_ASSERT_MSG(covered, "maximality violated: free edge left");
     }
   }
@@ -149,7 +161,7 @@ void MatchingChecker::check(const DynamicMatcher& m) {
     const auto& s = m.s_[static_cast<size_t>(l)];
     for (size_t i = 0; i < s.size(); ++i) {
       const Vertex v = s.at(i);
-      PDMM_ASSERT_MSG(m.verts_[v].level < l &&
+      PDMM_ASSERT_MSG(m.vhot_.level(v) < l &&
                           m.o_tilde(v, l) >= m.scheme_.rise_threshold(l),
                       "S_l contains a non-member");
     }
@@ -157,16 +169,16 @@ void MatchingChecker::check(const DynamicMatcher& m) {
   for (Vertex v = 0; v < m.verts_.size(); ++v) {
     const auto& vs = m.verts_[v];
     if (vs.owned.empty() && vs.a_sets.empty()) {
-      PDMM_ASSERT_MSG(vs.s_mask == 0,
+      PDMM_ASSERT_MSG(m.vhot_.s_mask(v) == 0,
                       "stale S_l bitmask on a structure-free vertex");
       continue;
     }
     for (Level l = 0; l <= top; ++l) {
-      const bool member =
-          vs.level < l && m.o_tilde(v, l) >= m.scheme_.rise_threshold(l);
+      const bool member = m.vhot_.level(v) < l &&
+                          m.o_tilde(v, l) >= m.scheme_.rise_threshold(l);
       PDMM_ASSERT_MSG(m.s_[static_cast<size_t>(l)].contains(v) == member,
                       "S_l membership out of sync");
-      PDMM_ASSERT_MSG(((vs.s_mask >> l) & 1) == (member ? 1u : 0u),
+      PDMM_ASSERT_MSG(((m.vhot_.s_mask(v) >> l) & 1) == (member ? 1u : 0u),
                       "cached S_l bitmask out of sync with membership");
     }
   }

@@ -61,11 +61,11 @@ std::vector<Vertex> DynamicMatcher::vertex_cover() const {
   // Exact reservation: matched hyperedges can have rank < max_rank, so
   // matching_size_ * max_rank over-allocates; count the members instead.
   size_t count = 0;
-  for (const VertexState& vs : verts_) count += vs.matched != kNoEdge;
+  for (Vertex v = 0; v < vhot_.size(); ++v) count += vhot_.matched(v) != kNoEdge;
   std::vector<Vertex> cover;
   cover.reserve(count);
-  for (Vertex v = 0; v < verts_.size(); ++v) {
-    if (verts_[v].matched != kNoEdge) cover.push_back(v);
+  for (Vertex v = 0; v < vhot_.size(); ++v) {
+    if (vhot_.matched(v) != kNoEdge) cover.push_back(v);
   }
   return cover;
 }
@@ -98,7 +98,10 @@ std::vector<EdgeId> DynamicMatcher::collect_o_tilde(Vertex v, Level l) const {
 }
 
 void DynamicMatcher::grow_vertices(Vertex bound) {
-  if (bound > verts_.size()) verts_.resize(bound);
+  if (bound > verts_.size()) {
+    verts_.resize(bound);
+    vhot_.resize(bound);
+  }
 }
 
 void DynamicMatcher::grow_edges(size_t bound) {
@@ -132,18 +135,19 @@ uint64_t DynamicMatcher::compute_s_mask(Vertex v) const {
     // o~(v, l) never exceeds `total` and thresholds grow geometrically, so
     // once one is out of reach every later one is too.
     if (thr > total) break;
-    if (vs.level < l && o_til >= thr) mask |= uint64_t{1} << l;
+    mask |= static_cast<uint64_t>(o_til >= thr) << l;
     o_til += counts[static_cast<size_t>(l)];
   }
-  return mask;
+  // S_l requires l(v) < l: clear bits 0..l(v) arithmetically. l(v) is in
+  // [-1, top], so the shift count lands in [0, top+1] — never UB.
+  return mask & (~uint64_t{0} << (vhot_.level(v) + 1));
 }
 
 void DynamicMatcher::refresh_s_membership(Vertex v) {
-  VertexState& vs = verts_[v];
   const uint64_t nm = compute_s_mask(v);
-  uint64_t delta = nm ^ vs.s_mask;
+  uint64_t delta = nm ^ vhot_.s_mask(v);
   if (delta == 0) return;
-  vs.s_mask = nm;
+  vhot_.set_s_mask(v, nm);
   do {
     const int l = std::countr_zero(delta);
     delta &= delta - 1;
@@ -166,8 +170,8 @@ void DynamicMatcher::refresh_s_membership_all(
     PDMM_DASSERT(i == 0 || touched[i - 1] < touched[i]);
     const Vertex v = touched[i];
     const uint64_t nm = compute_s_mask(v);
-    deltas[i] = nm ^ verts_[v].s_mask;
-    verts_[v].s_mask = nm;
+    deltas[i] = nm ^ vhot_.s_mask(v);
+    vhot_.set_s_mask(v, nm);
   });
   cost_.round(touched.size());
 
@@ -177,7 +181,7 @@ void DynamicMatcher::refresh_s_membership_all(
   for (size_t i = 0; i < touched.size(); ++i) {
     uint64_t delta = deltas[i];
     if (delta == 0) continue;
-    const uint64_t nm = verts_[touched[i]].s_mask;
+    const uint64_t nm = vhot_.s_mask(touched[i]);
     do {
       const int l = std::countr_zero(delta);
       delta &= delta - 1;
@@ -187,13 +191,18 @@ void DynamicMatcher::refresh_s_membership_all(
   }
   if (muts.empty()) return;
 
-  // ...and apply them grouped by level: concurrent groups touch distinct
-  // S_l sets, and the unique (level, vertex) keys fix the in-level order.
-  apply_grouped_unique(
-      pool_, muts, [](const SMut& m) { return m.key(); },
-      [](uint64_t k) { return k >> 32; },
-      [&](uint64_t lvl, const SMut* b, const SMut* e) {
-        IndexedSet& s = s_[static_cast<size_t>(lvl)];
+  // ...and apply them bucketed by level: levels are dense (< s_.size()),
+  // so a prefix-sum counting scatter replaces the comparison sort. The
+  // records above are generated vertex-ascending per level (touched is
+  // sorted, one record per (level, vertex)), and the scatter is stable, so
+  // each level applies in exactly the ascending-vertex order the old
+  // (level << 32 | vertex) sort produced. Concurrent buckets touch
+  // distinct S_l sets.
+  apply_bucketed_dense(
+      pool_, muts, s_.size(),
+      [](const SMut& m) { return static_cast<size_t>(m.lvl); },
+      [&](size_t lvl, const SMut* b, const SMut* e) {
+        IndexedSet& s = s_[lvl];
         for (const SMut* m = b; m != e; ++m) {
           if (m->add) {
             s.insert(m->v);
@@ -202,7 +211,7 @@ void DynamicMatcher::refresh_s_membership_all(
           }
         }
       },
-      scratch_.s_groups, &cost_);
+      scratch_.s_buckets, &cost_);
 }
 
 // ---------------------------------------------------------------------------
@@ -212,10 +221,10 @@ void DynamicMatcher::refresh_s_membership_all(
 void DynamicMatcher::insert_edge_into_structures(EdgeId e) {
   const auto eps = reg_.endpoints(e);
   Vertex owner = eps[0];
-  Level maxl = verts_[eps[0]].level;
+  Level maxl = vhot_.level(eps[0]);
   for (size_t i = 1; i < eps.size(); ++i) {
-    if (verts_[eps[i]].level > maxl) {
-      maxl = verts_[eps[i]].level;
+    if (vhot_.level(eps[i]) > maxl) {
+      maxl = vhot_.level(eps[i]);
       owner = eps[i];
     }
   }
@@ -294,10 +303,10 @@ void DynamicMatcher::insert_edges_into_structures(
     const EdgeId e = ids[i];
     const auto eps = reg_.endpoints(e);
     Vertex owner = eps[0];
-    Level maxl = verts_[eps[0]].level;
+    Level maxl = vhot_.level(eps[0]);
     for (size_t j = 1; j < eps.size(); ++j) {
-      if (verts_[eps[j]].level > maxl) {
-        maxl = verts_[eps[j]].level;
+      if (vhot_.level(eps[j]) > maxl) {
+        maxl = vhot_.level(eps[j]);
         owner = eps[j];
       }
     }
@@ -351,7 +360,7 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
   for (const LevelMove& mv : moves) {
     const VertexState& vs = verts_[mv.v];
     need += vs.owned.size();
-    if (mv.to > vs.level) {
+    if (mv.to > vhot_.level(mv.v)) {
       for (const auto& ls : vs.a_sets) {
         if (ls.level < mv.to) need += ls.set.size();
       }
@@ -362,7 +371,7 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
     VertexState& vs = verts_[mv.v];
     affected.insert(affected.end(), vs.owned.items().begin(),
                     vs.owned.items().end());
-    if (mv.to > vs.level) {
+    if (mv.to > vhot_.level(mv.v)) {
       for (const auto& ls : vs.a_sets) {
         if (ls.level < mv.to)
           affected.insert(affected.end(), ls.set.items().begin(),
@@ -372,7 +381,7 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
   }
   cost_.round(affected.size() + moves.size());
 
-  for (const LevelMove& mv : moves) verts_[mv.v].level = mv.to;
+  for (const LevelMove& mv : moves) vhot_.set_level(mv.v, mv.to);
 
   parallel_sort_with(pool_, affected, scratch_.sort_buf);
   affected.erase(std::unique(affected.begin(), affected.end()),
@@ -390,15 +399,15 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
     const Level old_lvl = elevel_[e];
 
     Level maxl = kUnmatchedLevel;
-    for (Vertex u : eps) maxl = std::max(maxl, verts_[u].level);
+    for (Vertex u : eps) maxl = std::max(maxl, vhot_.level(u));
     PDMM_ASSERT_MSG(maxl >= 0, "affected edge stranded at level -1");
     Vertex new_owner;
-    if (verts_[old_owner].level == maxl) {
+    if (vhot_.level(old_owner) == maxl) {
       new_owner = old_owner;  // keep the owner while it stays maximal
     } else {
       new_owner = kNoVertex;
       for (Vertex u : eps) {
-        if (verts_[u].level == maxl) {
+        if (vhot_.level(u) == maxl) {
           new_owner = u;  // endpoints sorted: smallest-id maximal endpoint
           break;
         }
@@ -406,7 +415,7 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
     }
     if (eflags_[e] & kMatched) {
       for ([[maybe_unused]] Vertex u : eps)
-        PDMM_DASSERT(verts_[u].level == maxl);
+        PDMM_DASSERT(vhot_.level(u) == maxl);
     }
     elevel_[e] = maxl;
     eowner_[e] = new_owner;
@@ -457,17 +466,32 @@ void DynamicMatcher::apply_level_moves(std::vector<LevelMove>& moves) {
       },
       scratch_.move_groups, &cost_);
 
-  // Refresh S_l membership of every touched vertex.
+  // Refresh S_l membership of every vertex whose mask can have changed:
+  // the movers (their level term changed) and the vertices with a live
+  // container move (their per-level counts changed). An affected-edge
+  // endpoint with only same-container records kept every count and its
+  // level, so its mask is arithmetically unchanged — the old
+  // endpoint-gather + sort + unique pass recomputed those for nothing.
+  // Both inputs are already sorted (moves by v from the entry sort; live
+  // by (u << 32 | e) from the grouped apply), so the union is one merge.
   auto& touched = scratch_.moved_touched;
   touched.clear();
-  touched.reserve(moves.size() + affected.size() * r);
-  for (const LevelMove& mv : moves) touched.push_back(mv.v);
-  for (const EdgeId e : affected) {
-    const auto eps = reg_.endpoints(e);
-    touched.insert(touched.end(), eps.begin(), eps.end());
+  touched.reserve(moves.size() + live.size());
+  const auto push = [&touched](Vertex u) {
+    if (touched.empty() || touched.back() != u) touched.push_back(u);
+  };
+  size_t mi = 0, li = 0;
+  while (mi < moves.size() || li < live.size()) {
+    const Vertex mu = mi < moves.size() ? moves[mi].v : kNoVertex;
+    const Vertex lu = li < live.size() ? live[li].u : kNoVertex;
+    if (mu <= lu) {
+      push(mu);
+      ++mi;
+    } else {
+      push(lu);
+      ++li;
+    }
   }
-  parallel_sort_with(pool_, touched, scratch_.sort_buf);
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   refresh_s_membership_all(touched);
 }
 
@@ -480,10 +504,10 @@ void DynamicMatcher::set_matched(EdgeId e, Level l) {
   eflags_[e] |= kMatched;
   ++matching_size_;
   for (Vertex u : reg_.endpoints(e)) {
-    VertexState& vs = verts_[u];
-    PDMM_DASSERT(vs.matched == kNoEdge);
-    vs.matched = e;
-    if (vs.level >= 0) undecided_[static_cast<size_t>(vs.level)].erase(u);
+    PDMM_DASSERT(vhot_.matched(u) == kNoEdge);
+    vhot_.set_matched(u, e);
+    const Level lv = vhot_.level(u);
+    if (lv >= 0) undecided_[static_cast<size_t>(lv)].erase(u);
   }
   if (cfg_.collect_epoch_stats) {
     epochs_.created[static_cast<size_t>(l)]++;
@@ -498,11 +522,10 @@ void DynamicMatcher::set_unmatched(EdgeId e, bool natural) {
   eflags_[e] &= static_cast<uint8_t>(~kMatched);
   --matching_size_;
   for (Vertex u : reg_.endpoints(e)) {
-    VertexState& vs = verts_[u];
-    if (vs.matched != e) continue;
-    vs.matched = kNoEdge;
-    PDMM_DASSERT(vs.level >= 0);
-    undecided_[static_cast<size_t>(vs.level)].insert(u);
+    if (vhot_.matched(u) != e) continue;
+    vhot_.set_matched(u, kNoEdge);
+    PDMM_DASSERT(vhot_.level(u) >= 0);
+    undecided_[static_cast<size_t>(vhot_.level(u))].insert(u);
   }
   if (cfg_.collect_epoch_stats) {
     auto& ended = natural ? epochs_.ended_natural : epochs_.ended_induced;
@@ -605,7 +628,7 @@ void DynamicMatcher::process_level_step1(Level l) {
   for (Vertex v : u_nodes) need += verts_[v].owned.size();
   candidates.reserve(need);
   for (Vertex v : u_nodes) {
-    PDMM_DASSERT(verts_[v].matched == kNoEdge && verts_[v].level == l);
+    PDMM_DASSERT(vhot_.matched(v) == kNoEdge && vhot_.level(v) == l);
     const auto items = verts_[v].owned.items();
     candidates.insert(candidates.end(), items.begin(), items.end());
   }
@@ -616,7 +639,7 @@ void DynamicMatcher::process_level_step1(Level l) {
       pool_, candidates,
       [&](size_t i) {
         for (Vertex u : reg_.endpoints(candidates[i])) {
-          if (verts_[u].matched != kNoEdge) return false;
+          if (vhot_.matched(u) != kNoEdge) return false;
         }
         return true;
       },
@@ -639,7 +662,7 @@ void DynamicMatcher::process_level_step1(Level l) {
   }
   // Undecided nodes that stayed unmatched drop to level -1.
   for (Vertex v : u_nodes) {
-    if (verts_[v].matched == kNoEdge) {
+    if (vhot_.matched(v) == kNoEdge) {
       moves.push_back({v, kUnmatchedLevel});
       u_set.erase(v);
     }
@@ -662,7 +685,7 @@ void DynamicMatcher::phase_insert(const std::vector<EdgeId>& ids) {
       pool_, ids,
       [&](size_t i) {
         for (Vertex u : reg_.endpoints(ids[i])) {
-          if (verts_[u].matched != kNoEdge) return false;
+          if (vhot_.matched(u) != kNoEdge) return false;
         }
         return true;
       },
@@ -738,6 +761,7 @@ void DynamicMatcher::reset_state() {
     }
   }
   verts_.clear();
+  vhot_.clear();
   elevel_.clear();
   eowner_.clear();
   eflags_.clear();
@@ -947,15 +971,13 @@ void DynamicMatcher::make_view_into(MatchView& view) const {
   view.epoch = batch_counter_;
   view.max_rank = reg_.max_rank();
 
-  // Per-vertex arrays: disjoint writes, so the fill parallelizes directly.
-  // resize() on an already-capacious recycled view reuses its allocation.
-  const size_t nv = verts_.size();
-  view.vmatch.resize(nv);
-  view.vlevel.resize(nv);
-  parallel_for(pool_, nv, [&](size_t v) {
-    view.vmatch[v] = verts_[v].matched;
-    view.vlevel[v] = verts_[v].level;
-  });
+  // Per-vertex arrays: the SoA lanes are exactly the view's layout, so the
+  // fill is two bulk copies. assign() on an already-capacious recycled
+  // view reuses its allocation.
+  const auto levels = vhot_.levels();
+  const auto matched = vhot_.matched_edges();
+  view.vmatch.assign(matched.begin(), matched.end());
+  view.vlevel.assign(levels.begin(), levels.end());
 
   // Matched edges (ascending, from matching()) with their endpoints packed
   // CSR-style so the view owns every byte a query touches.

@@ -41,6 +41,7 @@
 #include "core/config.h"
 #include "core/epoch_stats.h"
 #include "core/level_scheme.h"
+#include "core/vertex_soa.h"
 #include "dict/batch_ops.h"
 #include "graph/registry.h"
 #include "graph/types.h"
@@ -157,10 +158,10 @@ class DynamicMatcher {
   // most r times the minimum (paper §2). Sorted ascending.
   std::vector<Vertex> vertex_cover() const;
   Level vertex_level(Vertex v) const {
-    return v < verts_.size() ? verts_[v].level : kUnmatchedLevel;
+    return v < vhot_.size() ? vhot_.level(v) : kUnmatchedLevel;
   }
   EdgeId matched_edge_of(Vertex v) const {
-    return v < verts_.size() ? verts_[v].matched : kNoEdge;
+    return v < vhot_.size() ? vhot_.matched(v) : kNoEdge;
   }
   Level edge_level(EdgeId e) const { return elevel_[e]; }
   Vertex edge_owner(EdgeId e) const { return eowner_[e]; }
@@ -257,14 +258,12 @@ class DynamicMatcher {
     IndexedSet set;
   };
 
+  // Cold per-vertex containers. The hot scalars (level, matched edge,
+  // S_l membership mask) live in the vhot_ SoA arrays (core/vertex_soa.h)
+  // so the settle/refresh loops stream dense lanes; verts_ holds only what
+  // those loops never touch. MatchingChecker cross-validates the two
+  // layouts stay mirror-consistent.
   struct VertexState {
-    Level level = kUnmatchedLevel;
-    EdgeId matched = kNoEdge;
-    // S_l membership of this vertex as a bitmask (bit l set iff v in S_l).
-    // Cached so structural updates only touch the shared S_l sets when the
-    // membership actually flips — the common case is no change, which the
-    // mask detects with pure arithmetic instead of L hash probes.
-    uint64_t s_mask = 0;
     IndexedSet owned;  // O(v)
     // Sparse A(v, l), non-empty levels only. The first two level sets live
     // inline in the VertexState (low-degree vertices almost never have
@@ -359,13 +358,15 @@ class DynamicMatcher {
     // refresh_s_membership_all
     std::vector<uint64_t> s_deltas;
     std::vector<SMut> s_muts;
-    GroupScratch<SMut> s_groups;
+    DenseBucketScratch<SMut> s_buckets;
     // process_level_step1 / phase_insert
     std::vector<EdgeId> candidates, free_edges;
     std::vector<LevelMove> moves;
     // settle machinery (grand_random_settle / subsubsettle)
     std::vector<Vertex> settle_b, settle_kept;
     std::vector<EdgeId> settle_eprime, settle_marked, settle_lifted;
+    std::vector<EdgeId> settle_eprime_buf;  // E'-filter double buffer
+    std::vector<uint8_t> settle_in_b;       // B membership, |V|-indexed
     std::vector<EdgeId> adopted;  // E' edges temp-deleted this iteration
     // shared pack flag buffer (single pack in flight at a time)
     std::vector<uint8_t> pack_flags;
@@ -388,8 +389,16 @@ class DynamicMatcher {
                       std::vector<Vertex>& b,
                       std::vector<EdgeId>& e_prime,
                       FlatPosMap<uint32_t>& h_choice);
+  // Refreshes B (drop settled/over-threshold vertices) and filters E' down
+  // to the still-live owned edges of the surviving B. During a settle all
+  // level moves are rises to l, so no edge ever *enters* an O~(v,l) — the
+  // fresh E' is always a subset of the old one, and an order-preserving
+  // filter of e_prime replaces the old full rebuild+sort. `kicked_set`
+  // names the edges kicked out of M this iteration: their stale
+  // elevel_/eowner_ would otherwise pass the filter predicate.
   void refresh_settle_sets(Level l, std::vector<Vertex>& b,
-                           std::vector<EdgeId>& e_prime);
+                           std::vector<EdgeId>& e_prime,
+                           const FlatPosMap<uint32_t>& kicked_set);
   void sequential_settle_fallback(Level l, const std::vector<Vertex>& b);
   void random_settle_single(Vertex v, Level l);
   // Kicks the matched edges (other than `keep`) of keep's endpoints out of
@@ -459,6 +468,7 @@ class DynamicMatcher {
   HyperedgeRegistry reg_;
 
   std::vector<VertexState> verts_;
+  VertexHotSoA vhot_;  // hot scalars, resized in lockstep with verts_
   std::vector<Level> elevel_;
   std::vector<Vertex> eowner_;
   std::vector<uint8_t> eflags_;

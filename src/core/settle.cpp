@@ -18,28 +18,61 @@ uint64_t DynamicMatcher::settle_rng_stream() const {
 // E' = union of O~(v, l) over B. E' only ever shrinks during a settle
 // (edges get lifted, temp-deleted, kicked, or re-leveled upward), so the
 // h-choices drawn at settle start stay valid.
-void DynamicMatcher::refresh_settle_sets(Level l, std::vector<Vertex>& b,
-                                         std::vector<EdgeId>& e_prime) {
+//
+// That shrink-only property is also why E' refreshes as an order-preserving
+// FILTER of the previous E' instead of the old gather + sort + unique
+// rebuild: every level move inside a settle is a rise to l, so no edge ever
+// newly enters any O~(v, l) — membership can only be lost. An edge e of the
+// old E' survives iff it would be re-gathered: e is still in the
+// structures with elevel < l (an endpoint of e owns it or holds it in an
+// A(·, l') with l' < l) and some endpoint sits in the refreshed B. The
+// membership tests: elevel_[e] >= l catches lifted and riser-captured
+// edges, the kTempDeleted flag catches adoptions, and `kicked_set` catches
+// this iteration's kicked matched edges — those left the structures but
+// keep their stale elevel_/eowner_, which is exactly why the caller must
+// pass them explicitly (kicks from earlier iterations were filtered out
+// when they happened, and E' only shrinks). Filtering the (sorted) old E'
+// preserves ascending order, so the result is byte-identical to the
+// rebuild's sort output.
+void DynamicMatcher::refresh_settle_sets(
+    Level l, std::vector<Vertex>& b, std::vector<EdgeId>& e_prime,
+    const FlatPosMap<uint32_t>& kicked_set) {
   const uint64_t keep_threshold = scheme_.rise_threshold(l) / 2;
   auto& kept = scratch_.settle_kept;
   kept.clear();
   kept.reserve(b.size());
   for (Vertex v : b) {
-    if (verts_[v].level < l && o_tilde(v, l) >= keep_threshold)
+    if (vhot_.level(v) < l && o_tilde(v, l) >= keep_threshold)
       kept.push_back(v);
   }
   b.swap(kept);
-  e_prime.clear();
-  for (Vertex v : b) append_o_tilde(v, l, e_prime);
-  parallel_sort_with(pool_, e_prime, scratch_.sort_buf);
-  e_prime.erase(std::unique(e_prime.begin(), e_prime.end()), e_prime.end());
+
+  auto& in_b = scratch_.settle_in_b;
+  if (in_b.size() < verts_.size()) in_b.resize(verts_.size(), 0);
+  for (Vertex v : b) in_b[v] = 1;
+  auto& out = scratch_.settle_eprime_buf;
+  pack_values_into(
+      pool_, e_prime,
+      [&](size_t i) {
+        const EdgeId e = e_prime[i];
+        if (elevel_[e] >= l) return false;            // lifted / captured
+        if (eflags_[e] & kTempDeleted) return false;  // adopted into a D set
+        if (kicked_set.contains(e)) return false;     // stale elevel_
+        for (Vertex u : reg_.endpoints(e)) {
+          if (in_b[u]) return true;
+        }
+        return false;
+      },
+      out, scratch_.pack_flags);
+  e_prime.swap(out);
+  for (Vertex v : b) in_b[v] = 0;
   cost_.round(b.size() + e_prime.size());
 }
 
 void DynamicMatcher::kick_conflicting_matches(EdgeId keep,
                                               std::vector<EdgeId>& kicked) {
   for (Vertex u : reg_.endpoints(keep)) {
-    const EdgeId m = verts_[u].matched;
+    const EdgeId m = vhot_.matched(u);
     if (m == kNoEdge || m == keep) continue;
     // Kicking clears `matched` on every endpoint of m, so a second
     // encounter of m (via another endpoint, or another lifted edge in the
@@ -85,7 +118,7 @@ void DynamicMatcher::grand_random_settle(Level l) {
     // Initial E' from the full B = S_l (no threshold filtering yet; every
     // member has o~ >= alpha^l by the S_l definition).
     for (Vertex v : b) {
-      PDMM_DASSERT(verts_[v].level < l);
+      PDMM_DASSERT(vhot_.level(v) < l);
       append_o_tilde(v, l, e_prime);
     }
     parallel_sort_with(pool_, e_prime, scratch_.sort_buf);
@@ -219,7 +252,7 @@ size_t DynamicMatcher::subsubsettle(Level l, uint32_t phase_i,
   }
   cost_.round(e_prime.size());
 
-  refresh_settle_sets(l, b, e_prime);
+  refresh_settle_sets(l, b, e_prime, kicked_set);
   return lifted.size();
 }
 
@@ -231,7 +264,7 @@ void DynamicMatcher::sequential_settle_fallback(
   // §3.3.2. Correct, merely not polylog-depth.
   const uint64_t keep_threshold = scheme_.rise_threshold(l) / 2;
   for (Vertex v : b) {
-    if (verts_[v].level < l && o_tilde(v, l) >= keep_threshold) {
+    if (vhot_.level(v) < l && o_tilde(v, l) >= keep_threshold) {
       random_settle_single(v, l);
     }
   }

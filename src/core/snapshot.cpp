@@ -70,8 +70,9 @@ bool DynamicMatcher::save(std::ostream& out) const {
   out << "nv " << verts_.size() << '\n';
   for (Vertex v = 0; v < verts_.size(); ++v) {
     const VertexState& vs = verts_[v];
-    if (vs.level != kUnmatchedLevel || vs.matched != kNoEdge) {
-      out << "v " << v << ' ' << vs.level << ' ' << vs.matched << '\n';
+    if (vhot_.level(v) != kUnmatchedLevel || vhot_.matched(v) != kNoEdge) {
+      out << "v " << v << ' ' << vhot_.level(v) << ' ' << vhot_.matched(v)
+          << '\n';
     }
     if (!vs.owned.empty()) {
       out << "o " << v;
@@ -247,6 +248,7 @@ void DynamicMatcher::reset_to_empty() {
                         std::max<uint64_t>(cfg_.initial_capacity, 2));
   reg_.restore_begin(0);
   verts_.clear();
+  vhot_.clear();
   elevel_.clear();
   eowner_.clear();
   eflags_.clear();
@@ -509,6 +511,8 @@ SnapshotError DynamicMatcher::load_validated(std::istream& in) {
       saw_nv = true;
       verts_.clear();
       verts_.resize(nv);
+      vhot_.clear();
+      vhot_.resize(nv);
       v_seen.assign(nv, 0);
     } else if (tag == "v" || tag == "o" || tag == "a") {
       if (!saw_nv) {
@@ -540,8 +544,9 @@ SnapshotError DynamicMatcher::load_validated(std::istream& in) {
           cur.fail("vertex level -1 must coincide with being unmatched");
           return failed();
         }
-        vs.level = lvl;
-        vs.matched = static_cast<EdgeId>(matched);
+        vhot_.set_level(static_cast<Vertex>(v), lvl);
+        vhot_.set_matched(static_cast<Vertex>(v),
+                          static_cast<EdgeId>(matched));
       } else if (tag == "o") {
         if (!vs.owned.empty()) {
           cur.fail("duplicate owned line for vertex " + std::to_string(v));
@@ -758,7 +763,7 @@ SnapshotError DynamicMatcher::verify_loaded_state(size_t declared_alive) {
     if (flags & kMatched) {
       ++matched_edges;
       for (Vertex u : eps) {
-        if (verts_[u].matched != e || verts_[u].level != lvl) {
+        if (vhot_.matched(u) != e || vhot_.level(u) != lvl) {
           return fail("matched edge " + std::to_string(e) +
                       " endpoint " + std::to_string(u) +
                       " disagrees about the match");
@@ -774,16 +779,18 @@ SnapshotError DynamicMatcher::verify_loaded_state(size_t declared_alive) {
   size_t have_owned = 0, have_a_members = 0;
   for (Vertex v = 0; v < verts_.size(); ++v) {
     const VertexState& vs = verts_[v];
-    if ((vs.level == kUnmatchedLevel) != (vs.matched == kNoEdge)) {
+    const Level vl = vhot_.level(v);
+    const EdgeId vm = vhot_.matched(v);
+    if ((vl == kUnmatchedLevel) != (vm == kNoEdge)) {
       return fail("vertex " + std::to_string(v) +
                   " level -1 must coincide with being unmatched");
     }
-    if (vs.matched != kNoEdge) {
-      if (!reg_.alive(vs.matched) || !(eflags_[vs.matched] & kMatched)) {
+    if (vm != kNoEdge) {
+      if (!reg_.alive(vm) || !(eflags_[vm] & kMatched)) {
         return fail("vertex " + std::to_string(v) +
                     " matched to a non-matched edge");
       }
-      const auto eps = reg_.endpoints(vs.matched);
+      const auto eps = reg_.endpoints(vm);
       if (std::find(eps.begin(), eps.end(), v) == eps.end()) {
         return fail("vertex " + std::to_string(v) +
                     " matched to an edge that does not contain it");
@@ -792,14 +799,14 @@ SnapshotError DynamicMatcher::verify_loaded_state(size_t declared_alive) {
     have_owned += vs.owned.size();
     for (EdgeId e : vs.owned.items()) {
       if ((eflags_[e] & kTempDeleted) || eowner_[e] != v ||
-          elevel_[e] != vs.level) {
+          elevel_[e] != vl) {
         return fail("owned set of vertex " + std::to_string(v) +
                     " contains edge " + std::to_string(e) +
                     " it does not own at its level");
       }
     }
     for (const auto& ls : vs.a_sets) {
-      if (ls.level < std::max(vs.level, Level{0}) || ls.level > top) {
+      if (ls.level < std::max(vl, Level{0}) || ls.level > top) {
         return fail("A(v,l) of vertex " + std::to_string(v) +
                     " exists outside [max(l(v), 0), L]");
       }

@@ -1,0 +1,74 @@
+// VertexHotSoA: the matcher's hot per-vertex scalars — level, matched edge,
+// S_l membership mask — in structure-of-arrays layout.
+//
+// The settle sweeps and the S_l mask refresh touch these three scalars for
+// thousands of vertices per batch while never looking at the cold per-vertex
+// containers (the owned set and the sparse A(v,l) sets). Keeping the scalars
+// in their own dense arrays means those loops stream 4/4/8-byte lanes at
+// cache-line density instead of striding over ~100-byte VertexState records
+// that are mostly pointers they never dereference.
+//
+// Accessor contract: ALL access goes through the methods below. Direct
+// indexing of the arrays outside this file is rejected by the
+// `hot-field-access` pdmm_lint rule — the layout is an implementation detail
+// the rest of the tree must not grow dependencies on, and funnel accessors
+// are what keeps the three arrays provably resized in lockstep
+// (MatchingChecker cross-validates the sizes and the mirror invariants every
+// check). Bulk read-only spans are provided for memcpy-speed consumers
+// (the make_view fill); they are views, not an escape hatch for writes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace pdmm {
+
+class VertexHotSoA {
+ public:
+  Level level(Vertex v) const { return vlevel_[v]; }
+  void set_level(Vertex v, Level l) { vlevel_[v] = l; }
+
+  EdgeId matched(Vertex v) const { return vmatched_[v]; }
+  void set_matched(Vertex v, EdgeId e) { vmatched_[v] = e; }
+
+  uint64_t s_mask(Vertex v) const { return vsmask_[v]; }
+  void set_s_mask(Vertex v, uint64_t m) { vsmask_[v] = m; }
+
+  size_t size() const { return vlevel_.size(); }
+
+  // Grows (or shrinks) all three lanes together; new vertices get the
+  // freshly-constructed defaults (unmatched, no edge, empty mask).
+  void resize(size_t n) {
+    vlevel_.resize(n, kUnmatchedLevel);
+    vmatched_.resize(n, kNoEdge);
+    vsmask_.resize(n, 0);
+  }
+
+  void clear() {
+    vlevel_.clear();
+    vmatched_.clear();
+    vsmask_.clear();
+  }
+
+  // Bulk read-only views for consumers that copy a whole lane (the
+  // MatchView fill assigns these directly instead of looping per vertex).
+  std::span<const Level> levels() const { return vlevel_; }
+  std::span<const EdgeId> matched_edges() const { return vmatched_; }
+
+  // Per-lane sizes, exposed so MatchingChecker can assert the lanes never
+  // drift apart (resize() is the only growth path, but the checker proves
+  // it rather than trusting it).
+  size_t level_lane_size() const { return vlevel_.size(); }
+  size_t matched_lane_size() const { return vmatched_.size(); }
+  size_t s_mask_lane_size() const { return vsmask_.size(); }
+
+ private:
+  std::vector<Level> vlevel_;
+  std::vector<EdgeId> vmatched_;
+  std::vector<uint64_t> vsmask_;
+};
+
+}  // namespace pdmm

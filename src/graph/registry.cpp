@@ -55,8 +55,9 @@ EdgeId HyperedgeRegistry::insert(std::span<const Vertex> eps) {
             endpoints_.begin() + static_cast<size_t>(id) * max_rank_);
   deg_[id] = static_cast<uint8_t>(sorted.size());
   coll_next_[id] = head;
-  if (headp) index_.erase(key);
-  index_.insert(key, id);
+  // Re-point the bucket head in one probe walk (vs erase + insert, which
+  // walks the chain twice and leaves a tombstone behind).
+  index_.upsert(key, id);
   ++num_alive_;
   vertex_bound_ = std::max(vertex_bound_, sorted.back() + 1);
   return id;
@@ -81,19 +82,22 @@ void HyperedgeRegistry::erase(EdgeId e) {
   const uint64_t key = key_of(endpoints(e));
   const EdgeId* headp = index_.find(key);
   PDMM_ASSERT(headp != nullptr);
-  EdgeId head = *headp;
-  index_.erase(key);
+  const EdgeId head = *headp;
   if (head == e) {
-    if (coll_next_[e] != kNoEdge) index_.insert(key, coll_next_[e]);
+    if (coll_next_[e] != kNoEdge) {
+      index_.upsert(key, coll_next_[e]);  // one walk, no tombstone
+    } else {
+      index_.erase(key);
+    }
   } else {
-    // Unlink e from the (almost always length-1) chain.
+    // Unlink e from the middle of the (almost always length-1) chain; the
+    // head entry in the index is unchanged, so the dict is not touched.
     EdgeId prev = head;
     while (coll_next_[prev] != e) {
       prev = coll_next_[prev];
       PDMM_ASSERT(prev != kNoEdge);
     }
     coll_next_[prev] = coll_next_[e];
-    index_.insert(key, head);
   }
   coll_next_[e] = kNoEdge;
   deg_[e] = 0;
@@ -123,8 +127,7 @@ void HyperedgeRegistry::restore_slot(EdgeId id,
   const uint64_t key = key_of(sorted);
   const EdgeId* headp = index_.find(key);
   coll_next_[id] = headp ? *headp : kNoEdge;
-  if (headp) index_.erase(key);
-  index_.insert(key, id);
+  index_.upsert(key, id);
   ++num_alive_;
   vertex_bound_ = std::max(vertex_bound_, sorted.back() + 1);
 }

@@ -1,0 +1,16 @@
+// lint-test-path: src/core/vertex_soa.h
+// Corpus: vertex_soa.h is the one home where the SoA lanes are indexed
+// directly; no findings expected in this file.
+#include <cstdint>
+#include <vector>
+
+class VertexHotSoAMock {
+ public:
+  int32_t level(uint32_t v) const { return vlevel_[v]; }
+  void set_s_mask(uint32_t v, uint64_t m) { vsmask_[v] = m; }
+
+ private:
+  std::vector<int32_t> vlevel_;
+  std::vector<uint32_t> vmatched_;
+  std::vector<uint64_t> vsmask_;
+};

@@ -8,6 +8,7 @@
 // reset and fully usable.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -275,6 +276,53 @@ TEST(SnapshotBasic, SaveReportsStreamFailure) {
   std::ostringstream ok;
   EXPECT_TRUE(a.save(ok));
   EXPECT_FALSE(ok.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: a committed byte-exact snapshot of a fixed driven state
+// (tests/fixtures/). Pins the on-disk format itself, not just round-trip
+// consistency — an internal refactor (e.g. the SoA vertex-state split) must
+// not move a single byte. Regenerate deliberately with
+// PDMM_UPDATE_FIXTURES=1 when a format change is intended.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotGolden, CommittedFixtureIsReproducedByteExact) {
+  ThreadPool pool(1);
+  DynamicMatcher a(snap_config(2, 4242), pool);
+  ChurnStream::Options so;
+  so.n = 192;
+  so.target_edges = 448;
+  so.zipf_s = 0.7;  // dense hubs: the fixture carries o/a/d/bd lines
+  so.seed = 4243;
+  ChurnStream stream(so);
+  drive(a, stream, 24, 32);
+  const std::string produced = save_str(a);
+
+  const std::string path =
+      std::string(PDMM_FIXTURE_DIR) + "/golden_churn_rank2.snap";
+  if (std::getenv("PDMM_UPDATE_FIXTURES")) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << produced;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "fixture regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden fixture " << path
+      << " (regenerate with PDMM_UPDATE_FIXTURES=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(produced, want.str())
+      << "snapshot bytes diverged from the committed golden fixture; if "
+         "the format change is intentional, regenerate with "
+         "PDMM_UPDATE_FIXTURES=1 and review the diff";
+  // The committed bytes must also still load into a healthy matcher.
+  DynamicMatcher b(snap_config(2, 4242), pool);
+  const SnapshotError err = load_str(b, want.str());
+  ASSERT_TRUE(err.ok()) << err.to_string();
+  MatchingChecker::check(b);
+  EXPECT_EQ(a.matching_size(), b.matching_size());
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checker.h"
 #include "core/matcher.h"
 #include "param_name.h"
 #include "workload/generators.h"
@@ -108,6 +109,10 @@ RunResult run_stream(StreamKind kind, uint64_t seed, unsigned threads) {
   }
 
   out.matching = m.matching_size();
+  // Full invariant sweep at every matrix point: besides the paper's
+  // invariants this cross-validates the SoA hot lanes against the cold
+  // per-vertex structures at each thread count before bytes are compared.
+  MatchingChecker::check(m);
   std::ostringstream snap;
   EXPECT_TRUE(m.save(snap));
   out.snapshot = snap.str();

@@ -37,6 +37,13 @@ Rules (each can be waived per-site, see WAIVERS below):
                      Fixed pacing that is genuinely not a retry loop is
                      waived per-site with a reason.
 
+  hot-field-access   Direct indexing of the SoA hot-scalar lanes (vlevel_,
+                     vmatched_, vsmask_) outside src/core/vertex_soa.h.
+                     Every read/write of a vertex's level, matched edge or
+                     S_l bitmask goes through the VertexHotSoA accessors so
+                     the lanes stay in lockstep and the layout can evolve
+                     behind one header.
+
 WAIVERS
   A site is waived with `// lint:allow(<rule>) <reason>` on the flagged
   line or up to 3 lines above it. The reason is mandatory: a waiver without
@@ -74,6 +81,7 @@ RULES = (
     "raw-alloc",
     "tsa-rationale",
     "raw-sleep",
+    "hot-field-access",
 )
 
 # Files where each rule does not apply (repo-relative, prefix match for
@@ -90,6 +98,7 @@ ASSERT_RECOVERABLE_SCOPE = ("src/persist/",)
 ASSERT_RECOVERABLE_FILES_RE = re.compile(r"^src/workload/trace[^/]*$")
 TSA_HOME = ("src/util/thread_annotations.h",)
 RAW_SLEEP_HOME = ("src/util/backoff.h",)
+HOT_FIELD_HOME = ("src/core/vertex_soa.h",)
 
 NAKED_PARSE_RE = re.compile(
     r"\b(?:std::)?"
@@ -107,6 +116,7 @@ TSA_MACRO_RE = re.compile(r"\bPDMM_NO_THREAD_SAFETY_ANALYSIS\b")
 # member functions like Backoff::sleep()); the POSIX/std spellings below
 # cover every blind-wait primitive the tree could reach for.
 RAW_SLEEP_RE = re.compile(r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(")
+HOT_FIELD_RE = re.compile(r"\b(vlevel_|vmatched_|vsmask_)\s*[\[.]")
 TSA_COMMENT_RE = re.compile(r"//.*\btsa:")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([^)]*)\)\s*(.*)")
 EXPECT_RE = re.compile(r"expect-lint:\s*([\w,\- ]+)")
@@ -274,6 +284,12 @@ def lint_file(rel: str, raw_lines: list[str]) -> list[Finding]:
             add(i, "raw-sleep",
                 f"{fn}() outside util/backoff.h — retry/poll waits go "
                 "through util::Backoff (waive fixed pacing with a reason)")
+
+        if HOT_FIELD_RE.search(cl) and rel not in HOT_FIELD_HOME:
+            lane = HOT_FIELD_RE.search(cl).group(1)
+            add(i, "hot-field-access",
+                f"direct access to SoA lane {lane} outside "
+                "core/vertex_soa.h — go through the VertexHotSoA accessors")
 
         if (TSA_MACRO_RE.search(cl) and not is_directive
                 and rel not in TSA_HOME):
